@@ -1,0 +1,214 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/ctrl"
+	"repro/internal/forecast"
+	"repro/internal/idc"
+	"repro/internal/mat"
+	"repro/internal/price"
+	"repro/internal/queueing"
+	"repro/internal/tariff"
+	"repro/internal/workload"
+)
+
+// BenchmarkRLSUpdate measures one recursive-least-squares update at the
+// predictor's default order.
+func BenchmarkRLSUpdate(b *testing.B) {
+	r, err := forecast.NewRLS(6, 0.995, 1e4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phi := []float64{1, 2, 3, 4, 5, 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Update(phi, 3.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorObserveForecast measures the full per-step forecasting
+// cost: one observation plus an 8-step-ahead prediction.
+func BenchmarkPredictorObserveForecast(b *testing.B) {
+	p, err := forecast.NewPredictor(forecast.PredictorConfig{Order: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.Observe(float64(100 + i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(float64(100 + i%7))
+		if _, err := p.Forecast(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiurnalRate measures the synthetic workload generator.
+func BenchmarkDiurnalRate(b *testing.B) {
+	g, err := workload.NewDiurnal(workload.DiurnalConfig{Base: 1000, NoiseFrac: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Rate(i)
+	}
+}
+
+// BenchmarkMMPP2Rate measures the bursty generator including the Poisson
+// sampling path.
+func BenchmarkMMPP2Rate(b *testing.B) {
+	g, err := workload.NewMMPP2(workload.MMPP2Config{Rate1: 100, Rate2: 400, P12: 0.05, P21: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Rate(i)
+	}
+}
+
+// BenchmarkErlangC measures the waiting-probability computation at fleet
+// scale (20000 servers).
+func BenchmarkErlangC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := queueing.ErlangC(20000, 19000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBidStackPrice measures one stochastic price query.
+func BenchmarkBidStackPrice(b *testing.B) {
+	m := price.NewBidStackModel(price.NewEmbeddedModel(), price.BidStackConfig{Sigma: 2, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Price(price.Wisconsin, i%24, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContraction measures the §IV.E closed-loop contraction estimate
+// (20 MPC solves plus plant propagation).
+func BenchmarkContraction(b *testing.B) {
+	top := idc.PaperTopology()
+	model, err := ctrl.NewFoldedModel(top, []float64{49.90, 29.47, 77.97}, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mpc, err := ctrl.NewMPC(ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, err := alloc.Optimize(top, []float64{43.26, 30.26, 19.06}, workload.TableI())
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := alloc.Optimize(top, []float64{49.90, 29.47, 77.97}, workload.TableI())
+	if err != nil {
+		b.Fatal(err)
+	}
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.EstimateContraction(model, mpc,
+			start.Allocation.Vector(), servers,
+			workload.TableI(), target.PowerWatts, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTariffPrice measures billing a day-long fleet series.
+func BenchmarkTariffPrice(b *testing.B) {
+	n := 2880
+	watts := make([]float64, n)
+	prices := make([]float64, n)
+	for i := range watts {
+		watts[i] = 5e6 + float64(i%7)*1e5
+		prices[i] = 40
+	}
+	tr := &tariff.Tariff{DemandChargePerMW: 1e4, PeakLimitWatts: 5.3e6, PenaltyPerMWh: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Price(watts, prices, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpm measures the matrix exponential at the model's size.
+func BenchmarkExpm(b *testing.B) {
+	a := mat.Zeros(4, 4)
+	a.Set(0, 1, 43.26)
+	a.Set(0, 2, 30.26)
+	a.Set(0, 3, 19.06)
+	scaled := mat.Scale(30, a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.Expm(scaled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPCStepScaling measures one MPC solve as the topology grows
+// (decision variables = portals × IDCs × β2).
+func BenchmarkMPCStepScaling(b *testing.B) {
+	for _, size := range []struct{ c, n int }{{5, 3}, {8, 6}, {10, 8}} {
+		b.Run(sizeName(size.c, size.n), func(b *testing.B) {
+			top, err := idc.SyntheticTopology(size.c, size.n, 20000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prices := make([]float64, size.n)
+			for j := range prices {
+				prices[j] = 20 + float64(j*7%40)
+			}
+			model, err := ctrl.NewFoldedModel(top, prices, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			demands := make([]float64, size.c)
+			for i := range demands {
+				demands[i] = 8000
+			}
+			ref, err := alloc.Optimize(top, prices, demands)
+			if err != nil {
+				b.Fatal(err)
+			}
+			servers := make([]int, size.n)
+			for j := range servers {
+				servers[j] = top.IDC(j).TotalServers
+			}
+			mpc, err := ctrl.NewMPC(ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 4, PredHorizon: 6, CtrlHorizon: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := ctrl.StepInput{
+				Model:    model,
+				State:    make([]float64, model.StateDim()),
+				PrevU:    ref.Allocation.Vector(),
+				Servers:  servers,
+				Demands:  demands,
+				RefPower: ref.PowerWatts,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mpc.Step(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,272 @@
+// Benchmarks: one per paper table/figure (the regeneration cost of each
+// §V artifact) plus the ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench reports a checksum of the produced series via b.ReportMetric
+// so regressions in the *content* (not just the speed) are visible.
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/ctrl"
+	"repro/internal/experiments"
+	"repro/internal/idc"
+	"repro/internal/lp"
+	"repro/internal/mat"
+	"repro/internal/price"
+	"repro/internal/qp"
+	"repro/internal/sim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var checksum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		checksum = 0
+		for _, f := range out.Figures {
+			for _, s := range f.Series {
+				for _, v := range s.Y {
+					checksum += v
+				}
+			}
+		}
+		for _, t := range out.Tables {
+			checksum += float64(len(t.Rows))
+		}
+	}
+	b.ReportMetric(checksum, "series-sum")
+}
+
+// BenchmarkTable1Setup regenerates Table I (portal workloads).
+func BenchmarkTable1Setup(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Setup regenerates Table II (IDC configuration).
+func BenchmarkTable2Setup(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3Prices regenerates Table III (price anchors).
+func BenchmarkTable3Prices(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig2Prices regenerates Fig. 2 (24 h regional price traces).
+func BenchmarkFig2Prices(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3Forecast regenerates Fig. 3 (AR/RLS workload prediction).
+func BenchmarkFig3Forecast(b *testing.B) { benchExperiment(b, "fig3") }
+
+// The fig4/5 and fig6/7 pairs share one closed-loop run behind a sync.Once;
+// for honest per-figure numbers the benches below run the scenario directly.
+
+func flipScenario(budgets []float64) sim.Scenario {
+	return sim.Scenario{
+		Name:      "bench-flip",
+		Topology:  idc.PaperTopology(),
+		Prices:    price.NewEmbeddedModel(),
+		Steps:     140,
+		Ts:        30,
+		StartHour: 6,
+		SlowEvery: 4,
+		MPC:       ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+		Budgets:   budgets,
+	}
+}
+
+func benchScenario(b *testing.B, budgets []float64) {
+	b.Helper()
+	var checksum float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(flipScenario(budgets))
+		if err != nil {
+			b.Fatal(err)
+		}
+		checksum = 0
+		for j := range res.Control.PowerWatts {
+			for _, v := range res.Control.PowerWatts[j] {
+				checksum += v
+			}
+		}
+	}
+	b.ReportMetric(checksum/1e6, "MW-sum")
+}
+
+// BenchmarkFig4Smoothing runs the full §V.B smoothing experiment
+// (also covers Fig. 5's server series — same closed-loop run).
+func BenchmarkFig4Smoothing(b *testing.B) { benchScenario(b, nil) }
+
+// BenchmarkFig6PeakShaving runs the full §V.C budget experiment
+// (also covers Fig. 7's server series — same closed-loop run).
+func BenchmarkFig6PeakShaving(b *testing.B) {
+	benchScenario(b, []float64{5.13e6, 10.26e6, 4.275e6})
+}
+
+// BenchmarkAblationSmoothing sweeps the Q/R trade-off.
+func BenchmarkAblationSmoothing(b *testing.B) { benchExperiment(b, "ablation-smoothing") }
+
+// BenchmarkAblationHorizon sweeps the MPC horizons.
+func BenchmarkAblationHorizon(b *testing.B) { benchExperiment(b, "ablation-horizon") }
+
+// BenchmarkMPCStep measures one fast-loop MPC solve at the paper's scale
+// (N=3, C=5, β1=8, β2=3 → 45 decision variables).
+func BenchmarkMPCStep(b *testing.B) {
+	top := idc.PaperTopology()
+	model, err := ctrl.NewFoldedModel(top, []float64{49.90, 29.47, 77.97}, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := repro.OptimalAllocation(top, []float64{43.26, 30.26, 19.06}, repro.TableIDemands())
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := ref.Allocation.Vector()
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	target, err := repro.OptimalAllocation(top, []float64{49.90, 29.47, 77.97}, repro.TableIDemands())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mpc, err := ctrl.NewMPC(ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := ctrl.StepInput{
+		Model:    model,
+		State:    make([]float64, model.StateDim()),
+		PrevU:    u,
+		Servers:  servers,
+		Demands:  repro.TableIDemands(),
+		RefPower: target.PowerWatts,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpc.Step(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceLP measures the eq. (46) reference optimizer.
+func BenchmarkReferenceLP(b *testing.B) {
+	top := idc.PaperTopology()
+	prices := []float64{49.90, 29.47, 77.97}
+	demands := repro.TableIDemands()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.OptimalAllocation(top, prices, demands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplexScaling measures the LP solver on growing synthetic
+// transportation problems (N IDC columns × C portal rows).
+func BenchmarkSimplexScaling(b *testing.B) {
+	for _, size := range []struct{ c, n int }{{5, 3}, {10, 6}, {20, 12}} {
+		b.Run(sizeName(size.c, size.n), func(b *testing.B) {
+			p := transportLP(size.c, size.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := lp.Solve(p)
+				if err != nil || res.Status != lp.Optimal {
+					b.Fatalf("solve: %v / %v", err, res)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(c, n int) string {
+	return "C" + itoa(c) + "xN" + itoa(n)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// transportLP builds a feasible transportation LP with c supplies and n
+// demand columns (variables x_{ij} ≥ 0).
+func transportLP(c, n int) *lp.Problem {
+	nv := c * n
+	cost := make([]float64, nv)
+	for i := range cost {
+		cost[i] = float64((i*7)%13 + 1)
+	}
+	aeq := mat.Zeros(c, nv)
+	beq := make([]float64, c)
+	for i := 0; i < c; i++ {
+		for j := 0; j < n; j++ {
+			aeq.Set(i, i*n+j, 1)
+		}
+		beq[i] = float64(10 + i)
+	}
+	aub := mat.Zeros(n, nv)
+	bub := make([]float64, n)
+	var total float64
+	for _, v := range beq {
+		total += v
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < c; i++ {
+			aub.Set(j, i*n+j, 1)
+		}
+		bub[j] = total // loose caps keep it feasible
+	}
+	return &lp.Problem{C: cost, Aeq: aeq, Beq: beq, Aub: aub, Bub: bub}
+}
+
+// BenchmarkQPActiveSet measures the active-set QP on a box-constrained
+// problem at the MPC's variable count.
+func BenchmarkQPActiveSet(b *testing.B) {
+	n := 45
+	h := mat.Scale(2, mat.Identity(n))
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = float64(i%7) - 3
+	}
+	ain := mat.Zeros(2*n, n)
+	bin := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		ain.Set(i, i, 1)
+		bin[i] = 1
+		ain.Set(n+i, i, -1)
+		bin[n+i] = 1
+	}
+	p := &qp.Problem{H: h, Q: q, Ain: ain, Bin: bin, X0: make([]float64, n)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qp.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscretize measures the Van Loan ZOH discretization of the
+// paper's (N+1)-state model.
+func BenchmarkDiscretize(b *testing.B) {
+	top := idc.PaperTopology()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.NewFoldedModel(top, []float64{43.26, 30.26, 19.06}, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

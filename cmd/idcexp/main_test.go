@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table1", "fig2", "fig4", "fig6", "vicious-cycle"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperimentMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "43.26") {
+		t.Fatalf("table3 output missing anchor:\n%s", buf.String())
+	}
+}
+
+func TestCommaSeparatedExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1,table2"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "table2") {
+		t.Fatalf("missing experiments:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-format", "csv"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "hour,michigan,minnesota,wisconsin") {
+		t.Fatalf("fig2 CSV header missing:\n%s", buf.String())
+	}
+}
+
+func TestASCIIFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-format", "ascii"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "$/MWh") {
+		t.Fatalf("ASCII plot missing axis label:\n%s", buf.String())
+	}
+}
+
+func TestOutDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-out", dir}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table3.md"))
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	if !strings.Contains(string(data), "77.97") {
+		t.Fatalf("artifact content wrong:\n%s", data)
+	}
+}
+
+func TestReportMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "REPORT.md")
+	var buf bytes.Buffer
+	if err := run([]string{"-report", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	content := string(data)
+	for _, want := range []string{"# Reproduction report", "table3", "fig4", "billing", "vicious-cycle", "daily"} {
+		if !strings.Contains(content, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

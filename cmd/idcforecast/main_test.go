@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestQuietSummaryOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quiet"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("quiet mode printed %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# steps=288") {
+		t.Fatalf("summary = %s", lines[0])
+	}
+}
+
+func TestFullCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "1"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 288 rows + summary
+	if len(lines) != 290 {
+		t.Fatalf("lines = %d, want 290", len(lines))
+	}
+	if lines[0] != "step,actual,predicted,error" {
+		t.Fatalf("header = %s", lines[0])
+	}
+}
+
+func TestMAPEReasonable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quiet", "-days", "2"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := strings.TrimSpace(buf.String())
+	i := strings.Index(out, "mape=")
+	if i < 0 {
+		t.Fatalf("no mape in %s", out)
+	}
+	rest := out[i+5:]
+	j := strings.IndexByte(rest, ' ')
+	mape, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		t.Fatalf("parse mape: %v", err)
+	}
+	if mape > 0.12 {
+		t.Fatalf("mape = %g, too large", mape)
+	}
+}
+
+func TestMMPPMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quiet", "-mmpp"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "mape=") {
+		t.Fatalf("summary missing: %s", buf.String())
+	}
+}
+
+func TestBadOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-order", "-2"}, &buf); err == nil {
+		t.Fatal("negative order accepted")
+	}
+}

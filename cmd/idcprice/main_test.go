@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEmbeddedCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 25 {
+		t.Fatalf("lines = %d, want header + 24", len(lines))
+	}
+	if lines[0] != "hour,michigan,minnesota,wisconsin" {
+		t.Fatalf("header = %s", lines[0])
+	}
+	// Hour 6 row carries the Table III anchors.
+	if !strings.HasPrefix(lines[7], "6,43.26,30.26,19.06") {
+		t.Fatalf("hour 6 row = %s", lines[7])
+	}
+}
+
+func TestSingleRegion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-region", "wisconsin", "-hours", "2"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "hour,wisconsin" || len(lines) != 3 {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestUnknownRegion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-region", "mars"}, &buf); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestStochasticDeterministic(t *testing.T) {
+	mk := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-stochastic", "-seed", "3", "-hours", "6"}, &buf); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return buf.String()
+	}
+	if mk() != mk() {
+		t.Fatal("stochastic output not reproducible under fixed seed")
+	}
+}
+
+func TestVolatility(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-volatility"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "wisconsin,") {
+		t.Fatalf("row order: %v", lines)
+	}
+}

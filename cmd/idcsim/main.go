@@ -1,0 +1,301 @@
+// Command idcsim runs a closed-loop scenario of the dynamic electricity-
+// cost controller against the per-step optimal baseline and emits per-step
+// CSV records.
+//
+// Usage:
+//
+//	idcsim -steps 140 -ts 30 -start-hour 6 -smooth 6
+//	idcsim -budgets 5.13,10.26,4.275        # peak shaving, budgets in MW
+//	idcsim -diurnal -steps 2880             # a full synthetic day
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/ctrl"
+	"repro/internal/idc"
+	"repro/internal/price"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "idcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("idcsim", flag.ContinueOnError)
+	steps := fs.Int("steps", 140, "fast-loop steps to simulate")
+	ts := fs.Float64("ts", 30, "sampling period in seconds")
+	startHour := fs.Int("start-hour", 6, "price-trace hour of step 0")
+	slowEvery := fs.Int("slow-every", 4, "fast steps per slow (reference) tick")
+	smooth := fs.Float64("smooth", 6, "MPC smoothing weight (R)")
+	predH := fs.Int("pred-horizon", 8, "MPC prediction horizon β1")
+	ctrlH := fs.Int("ctrl-horizon", 3, "MPC control horizon β2")
+	budgetsFlag := fs.String("budgets", "", "per-IDC budgets in MW, comma separated (peak shaving)")
+	diurnal := fs.Bool("diurnal", false, "drive portals with a diurnal workload instead of Table I")
+	workloadTrace := fs.String("workload-trace", "", "replay a recorded rate trace (one rate per line or CSV) across the portals, scaled by the Table I proportions")
+	priceTrace := fs.String("price-trace", "", "load hourly price traces from CSV (header: hour,region,...) instead of the embedded ones")
+	seed := fs.Int64("seed", 1, "seed for the diurnal workload")
+	stochastic := fs.Bool("stochastic-prices", false, "use the bid-stack stochastic price model")
+	noBaseline := fs.Bool("no-baseline", false, "skip the optimal-method baseline")
+	configPath := fs.String("config", "", "load the scenario from a JSON file (overrides other flags)")
+	format := fs.String("format", "csv", "output format: csv or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var emit func(io.Writer, *sim.Result) error
+	switch *format {
+	case "csv":
+		emit = writeCSV
+	case "json":
+		emit = writeJSON
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if *configPath != "" {
+		file, err := config.Load(*configPath)
+		if err != nil {
+			return err
+		}
+		sc, err := file.Scenario()
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sc)
+		if err != nil {
+			return err
+		}
+		return emit(out, res)
+	}
+
+	top := idc.PaperTopology()
+	var budgets []float64
+	if *budgetsFlag != "" {
+		parts := strings.Split(*budgetsFlag, ",")
+		if len(parts) != top.N() {
+			return fmt.Errorf("need %d budgets, got %d", top.N(), len(parts))
+		}
+		budgets = make([]float64, len(parts))
+		for j, p := range parts {
+			mw, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("budget %q: %w", p, err)
+			}
+			budgets[j] = mw * 1e6
+		}
+	}
+
+	var model price.Model = price.NewEmbeddedModel()
+	if *priceTrace != "" {
+		f, err := os.Open(*priceTrace)
+		if err != nil {
+			return fmt.Errorf("price trace: %w", err)
+		}
+		traces, err := price.ReadTraces(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		model = price.NewTraceModel(traces...)
+	}
+	if *stochastic {
+		base, ok := model.(*price.TraceModel)
+		if !ok {
+			base = price.NewEmbeddedModel()
+		}
+		model = price.NewBidStackModel(base, price.BidStackConfig{
+			Sigma: 2, Seed: *seed,
+		})
+	}
+
+	sc := sim.Scenario{
+		Name:         "idcsim",
+		Topology:     top,
+		Prices:       model,
+		Steps:        *steps,
+		Ts:           *ts,
+		StartHour:    *startHour,
+		SlowEvery:    *slowEvery,
+		MPC:          ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: *smooth, PredHorizon: *predH, CtrlHorizon: *ctrlH},
+		Budgets:      budgets,
+		SkipBaseline: *noBaseline,
+	}
+	if *workloadTrace != "" {
+		f, err := os.Open(*workloadTrace)
+		if err != nil {
+			return fmt.Errorf("workload trace: %w", err)
+		}
+		tr, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// Split the recorded total across portals in Table I proportions.
+		var total float64
+		for _, l := range workload.TableI() {
+			total += l
+		}
+		gens := make([]workload.Generator, top.C())
+		for i, l := range workload.TableI() {
+			g, err := tr.Scaled(l / total)
+			if err != nil {
+				return err
+			}
+			gens[i] = g
+		}
+		portals, err := workload.NewPortals(gens...)
+		if err != nil {
+			return err
+		}
+		sc.Demands = portals.Demands
+	} else if *diurnal {
+		gens := make([]workload.Generator, top.C())
+		for i, base := range workload.TableI() {
+			g, err := workload.NewDiurnal(workload.DiurnalConfig{
+				Base: base / 2, NoiseFrac: 0.04, Seed: *seed + int64(i),
+			})
+			if err != nil {
+				return err
+			}
+			gens[i] = g
+		}
+		portals, err := workload.NewPortals(gens...)
+		if err != nil {
+			return err
+		}
+		sc.Demands = portals.Demands
+	}
+
+	res, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+	return emit(out, res)
+}
+
+// jsonSeries is the JSON projection of one method's record.
+type jsonSeries struct {
+	TimeMin        []float64            `json:"timeMin"`
+	Hours          []int                `json:"hours"`
+	PowerMW        map[string][]float64 `json:"powerMW"`
+	Servers        map[string][]int     `json:"servers"`
+	RefPowerMW     map[string][]float64 `json:"refPowerMW,omitempty"`
+	Prices         map[string][]float64 `json:"prices"`
+	CostRate       []float64            `json:"costRatePerHour"`
+	CumulativeCost []float64            `json:"cumulativeCost"`
+}
+
+type jsonResult struct {
+	Name    string      `json:"name"`
+	Control jsonSeries  `json:"control"`
+	Optimal *jsonSeries `json:"optimal,omitempty"`
+}
+
+func toJSONSeries(res *sim.Result, s *sim.Series, withRefs bool) jsonSeries {
+	top := res.Scenario.Topology
+	js := jsonSeries{
+		TimeMin:        s.TimeMin,
+		Hours:          s.Hours,
+		PowerMW:        make(map[string][]float64, top.N()),
+		Servers:        make(map[string][]int, top.N()),
+		Prices:         make(map[string][]float64, top.N()),
+		CostRate:       s.CostRate,
+		CumulativeCost: s.CumulativeCost,
+	}
+	if withRefs {
+		js.RefPowerMW = make(map[string][]float64, top.N())
+	}
+	for j := 0; j < top.N(); j++ {
+		name := top.IDC(j).Name
+		mw := make([]float64, len(s.PowerWatts[j]))
+		for k, w := range s.PowerWatts[j] {
+			mw[k] = w / 1e6
+		}
+		js.PowerMW[name] = mw
+		js.Servers[name] = s.Servers[j]
+		js.Prices[name] = s.Prices[j]
+		if withRefs {
+			ref := make([]float64, len(s.RefPowerWatts[j]))
+			for k, w := range s.RefPowerWatts[j] {
+				ref[k] = w / 1e6
+			}
+			js.RefPowerMW[name] = ref
+		}
+	}
+	return js
+}
+
+func writeJSON(out io.Writer, res *sim.Result) error {
+	doc := jsonResult{
+		Name:    res.Scenario.Name,
+		Control: toJSONSeries(res, res.Control, true),
+	}
+	if res.Optimal != nil {
+		opt := toJSONSeries(res, res.Optimal, false)
+		doc.Optimal = &opt
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func writeCSV(out io.Writer, res *sim.Result) error {
+	top := res.Scenario.Topology
+	cols := []string{"minute", "hour"}
+	for j := 0; j < top.N(); j++ {
+		name := top.IDC(j).Name
+		cols = append(cols,
+			"ctl_power_mw_"+name, "ctl_servers_"+name, "ctl_ref_mw_"+name, "price_"+name)
+	}
+	cols = append(cols, "ctl_cost_rate", "ctl_cum_cost")
+	if res.Optimal != nil {
+		for j := 0; j < top.N(); j++ {
+			name := top.IDC(j).Name
+			cols = append(cols, "opt_power_mw_"+name, "opt_servers_"+name)
+		}
+		cols = append(cols, "opt_cost_rate", "opt_cum_cost")
+	}
+	if _, err := fmt.Fprintln(out, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	ctl := res.Control
+	for k := 0; k < ctl.Steps(); k++ {
+		row := []string{
+			fmtG(ctl.TimeMin[k]), strconv.Itoa(ctl.Hours[k]),
+		}
+		for j := 0; j < top.N(); j++ {
+			row = append(row,
+				fmtG(ctl.PowerWatts[j][k]/1e6),
+				strconv.Itoa(ctl.Servers[j][k]),
+				fmtG(ctl.RefPowerWatts[j][k]/1e6),
+				fmtG(ctl.Prices[j][k]),
+			)
+		}
+		row = append(row, fmtG(ctl.CostRate[k]), fmtG(ctl.CumulativeCost[k]))
+		if res.Optimal != nil {
+			opt := res.Optimal
+			for j := 0; j < top.N(); j++ {
+				row = append(row, fmtG(opt.PowerWatts[j][k]/1e6), strconv.Itoa(opt.Servers[j][k]))
+			}
+			row = append(row, fmtG(opt.CostRate[k]), fmtG(opt.CumulativeCost[k]))
+		}
+		if _, err := fmt.Fprintln(out, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultRunProducesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "4"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 steps
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	if !strings.Contains(lines[0], "ctl_power_mw_michigan") {
+		t.Fatalf("header missing column: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], "opt_power_mw_michigan") {
+		t.Fatalf("baseline columns missing: %s", lines[0])
+	}
+}
+
+func TestNoBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "2", "-no-baseline"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(buf.String(), "opt_power") {
+		t.Fatal("baseline columns present despite -no-baseline")
+	}
+}
+
+func TestBudgetsFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "2", "-budgets", "5.13,10.26,4.275"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-steps", "2", "-budgets", "5.13"}, &buf); err == nil {
+		t.Fatal("short budget list accepted")
+	}
+	if err := run([]string{"-steps", "2", "-budgets", "a,b,c"}, &buf); err == nil {
+		t.Fatal("non-numeric budgets accepted")
+	}
+}
+
+func TestDiurnalAndStochastic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "3", "-diurnal", "-stochastic-prices", "-no-baseline"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 4 {
+		t.Fatal("unexpected row count")
+	}
+}
+
+func TestConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	content := `{
+	  "name": "t", "portals": [1000],
+	  "idcs": [{"name": "a", "region": "michigan", "servers": 2000,
+	    "serviceRate": 2, "delayBoundMs": 1, "idleWatts": 150, "peakWatts": 285}],
+	  "steps": 2, "tsSeconds": 30,
+	  "mpc": {"powerWeight": 1}, "prices": {"kind": "embedded"}
+	}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-config", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "ctl_power_mw_a") {
+		t.Fatalf("config topology not used:\n%s", buf.String())
+	}
+}
+
+func TestConfigFileMissing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-config", "/no/such/file.json"}, &buf); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "2", "-format", "json"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["control"] == nil || doc["optimal"] == nil {
+		t.Fatal("missing series in JSON document")
+	}
+	ctl, ok := doc["control"].(map[string]interface{})
+	if !ok {
+		t.Fatal("control not an object")
+	}
+	if ctl["powerMW"] == nil || ctl["refPowerMW"] == nil {
+		t.Fatal("control series incomplete")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "yaml"}, &buf); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestWorkloadTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wl.txt")
+	if err := os.WriteFile(path, []byte("1000\n2000\n"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "2", "-no-baseline", "-workload-trace", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-workload-trace", "/no/such/trace"}, &buf); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestPriceTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prices.csv")
+	content := "hour,michigan,minnesota,wisconsin\n0,40,30,20\n1,41,31,21\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "2", "-no-baseline", "-price-trace", path, "-start-hour", "0"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), ",40,") && !strings.Contains(buf.String(), ",40\n") {
+		// price column appears somewhere in the CSV rows
+		t.Fatalf("custom price not visible in output:\n%s", buf.String())
+	}
+	if err := run([]string{"-price-trace", "/no/such/prices.csv"}, &buf); err == nil {
+		t.Fatal("missing price trace accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Workload forecasting: the paper's Fig. 3 pipeline — an AR(p) model of
+// portal workload fitted online with recursive least squares — run over a
+// synthetic diurnal day with an MMPP burst overlay, reporting prediction
+// error per phase of the day.
+//
+//	go run ./examples/workload_forecast
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/forecast"
+	"repro/internal/workload"
+)
+
+func main() {
+	diurnal, err := workload.NewDiurnal(workload.DiurnalConfig{
+		Base: 800, PeakBoost: 2, NoiseFrac: 0.05, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bursts, err := workload.NewMMPP2(workload.MMPP2Config{
+		Rate1: 0, Rate2: 150, P12: 0.02, P21: 0.2, Seed: 43,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pred, err := forecast.NewPredictor(forecast.PredictorConfig{Order: 6, Lambda: 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const steps = 288 // one day of 5-minute samples
+	type phase struct {
+		name     string
+		from, to int
+		absErr   float64
+		absVal   float64
+	}
+	phases := []phase{
+		{name: "night (00-06)", from: 0, to: 72},
+		{name: "morning (06-12)", from: 72, to: 144},
+		{name: "afternoon (12-18)", from: 144, to: 216},
+		{name: "evening (18-24)", from: 216, to: 288},
+	}
+
+	for k := 0; k < steps; k++ {
+		actual := diurnal.Rate(k) + bursts.Rate(k)
+		var predicted float64
+		if pred.Ready() {
+			f, err := pred.Forecast(1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			predicted = f[0]
+		} else {
+			predicted = actual
+		}
+		pred.Observe(actual)
+		for i := range phases {
+			if k >= phases[i].from && k < phases[i].to {
+				phases[i].absErr += math.Abs(predicted - actual)
+				phases[i].absVal += actual
+			}
+		}
+	}
+
+	fmt.Println("One-step workload prediction error by phase of day:")
+	for _, p := range phases {
+		fmt.Printf("  %-18s relative error %5.2f%%\n", p.name, 100*p.absErr/p.absVal)
+	}
+	model, err := pred.Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFinal AR(%d) coefficients: %.4v\n", pred.Order(), model.Coef())
+
+	horizon, err := pred.Forecast(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Next 30 minutes (6 steps ahead): %.5v\n", horizon)
+}

@@ -1,0 +1,525 @@
+// Package core assembles the paper's contribution: dynamic control of
+// electricity cost with power-demand smoothing and peak shaving for
+// distributed Internet data centers (§IV).
+//
+// A Controller wires the substrates into the two-time-scale architecture:
+//
+//	slow loop (per price update)  — observe demand, update the AR/RLS
+//	     forecaster, re-solve the Rao-style reference LP (eq. 46) on the
+//	     predicted demand, clamp each IDC's power reference to its budget
+//	     (§IV.D peak shaving), and rebuild the price-dependent model.
+//	fast loop (per sampling step) — solve the constrained MPC (eqs. 42–45)
+//	     for the workload re-allocation ΔU, apply the first move, and run
+//	     the server sleep control (eq. 35) on the new allocation.
+//
+// Power-demand smoothing falls out of the MPC's R-weight on ΔU; peak
+// shaving falls out of the clamped reference. The controller never violates
+// conservation, latency or fleet-size constraints (they are hard MPC
+// constraints), while budgets are soft tracking targets exactly as in the
+// paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/ctrl"
+	"repro/internal/forecast"
+	"repro/internal/idc"
+	"repro/internal/power"
+	"repro/internal/price"
+	"repro/internal/queueing"
+	"repro/internal/sleep"
+)
+
+// Controller failure modes.
+var (
+	// ErrBadConfig is returned for invalid configurations.
+	ErrBadConfig = errors.New("core: invalid configuration")
+	// ErrInfeasible is returned when demand cannot be served at all.
+	ErrInfeasible = errors.New("core: demand infeasible")
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Topology is the portal/IDC system (required).
+	Topology *idc.Topology
+	// Prices supplies real-time prices per region (required).
+	Prices price.Model
+	// MPC configures the fast loop. Zero value uses package defaults with
+	// PowerWeight 1.
+	MPC ctrl.MPCConfig
+	// Ts is the fast-loop sampling period in seconds (default 30).
+	Ts float64
+	// SlowEvery is the number of fast steps per slow tick (default:
+	// steps per hour, matching hourly price updates).
+	SlowEvery int
+	// Budgets is the per-IDC power budget in watts for peak shaving;
+	// nil or zero entries mean unconstrained. Entries override the
+	// topology's IDC.BudgetWatts.
+	Budgets []float64
+	// Sleep configures the slow-loop server controller.
+	Sleep sleep.Config
+	// UseForecast enables AR/RLS demand prediction for the reference LP;
+	// when false the LP sees the latest observed demand.
+	UseForecast bool
+	// Forecast configures the per-portal predictors (used when UseForecast).
+	Forecast forecast.PredictorConfig
+	// StartHour offsets the price-trace hour of step 0 (default 0).
+	StartHour int
+}
+
+// Telemetry is the per-step record emitted by Step — everything the
+// experiments and figures need.
+type Telemetry struct {
+	// Step is the fast-loop step index (0-based).
+	Step int
+	// Hour is the price-trace hour used this step.
+	Hour int
+	// Prices is the per-IDC $/MWh price vector.
+	Prices []float64
+	// Demands is the portal demand vector observed this step.
+	Demands []float64
+	// U is the applied allocation vector.
+	U []float64
+	// Servers is the active-server vector after sleep control.
+	Servers []int
+	// PowerWatts is each IDC's drawn power with the applied U and servers.
+	PowerWatts []float64
+	// LatencySeconds is each IDC's achieved M/M/n average latency (eq. 14)
+	// with the applied allocation and servers; it never exceeds the
+	// configured DelayBound while the controller runs.
+	LatencySeconds []float64
+	// RefPowerWatts is the (budget-clamped) power reference the MPC tracked.
+	RefPowerWatts []float64
+	// BudgetWatts echoes the active budget (0 = none).
+	BudgetWatts []float64
+	// CostRate is the instantaneous spend in dollars per hour.
+	CostRate float64
+	// CumulativeCost is the integrated spend in dollars since step 0.
+	CumulativeCost float64
+	// QPIterations is the fast-loop solver effort (diagnostics).
+	QPIterations int
+}
+
+// Controller is the paper's dynamic electricity-cost controller.
+// It is not safe for concurrent use.
+type Controller struct {
+	cfg     Config
+	mpc     *ctrl.MPC
+	slp     *sleep.Controller
+	preds   []*forecast.Predictor
+	budgets []float64
+
+	// Mutable loop state.
+	step     int
+	model    *ctrl.Model
+	state    []float64
+	u        []float64
+	servers  []int
+	refPower []float64
+	refTraj  [][]float64
+	prices   []float64
+	cumCost  float64
+	started  bool
+	// lastDemands is the most recent observed demand vector, kept for
+	// immediate budget changes between slow ticks.
+	lastDemands []float64
+}
+
+// New validates the configuration and builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("nil topology: %w", ErrBadConfig)
+	}
+	if cfg.Prices == nil {
+		return nil, fmt.Errorf("nil price model: %w", ErrBadConfig)
+	}
+	if cfg.Ts == 0 {
+		cfg.Ts = 30
+	}
+	if cfg.Ts <= 0 {
+		return nil, fmt.Errorf("ts %g: %w", cfg.Ts, ErrBadConfig)
+	}
+	if cfg.SlowEvery == 0 {
+		cfg.SlowEvery = int(3600 / cfg.Ts)
+		if cfg.SlowEvery < 1 {
+			cfg.SlowEvery = 1
+		}
+	}
+	if cfg.SlowEvery < 1 {
+		return nil, fmt.Errorf("slow-loop divisor %d: %w", cfg.SlowEvery, ErrBadConfig)
+	}
+	n := cfg.Topology.N()
+	budgets := make([]float64, n)
+	for j := 0; j < n; j++ {
+		budgets[j] = cfg.Topology.IDC(j).BudgetWatts
+	}
+	if cfg.Budgets != nil {
+		if len(cfg.Budgets) != n {
+			return nil, fmt.Errorf("%d budgets for %d IDCs: %w", len(cfg.Budgets), n, ErrBadConfig)
+		}
+		for j, b := range cfg.Budgets {
+			if b < 0 {
+				return nil, fmt.Errorf("budget[%d] = %g: %w", j, b, ErrBadConfig)
+			}
+			if b > 0 {
+				budgets[j] = b
+			}
+		}
+	}
+	if cfg.MPC.PowerWeight == 0 && cfg.MPC.CostWeight == 0 {
+		cfg.MPC.PowerWeight = 1
+	}
+	mpc, err := ctrl.NewMPC(cfg.MPC)
+	if err != nil {
+		return nil, err
+	}
+	slp, err := sleep.New(cfg.Topology, cfg.Sleep)
+	if err != nil {
+		return nil, err
+	}
+	var preds []*forecast.Predictor
+	if cfg.UseForecast {
+		preds = make([]*forecast.Predictor, cfg.Topology.C())
+		for i := range preds {
+			p, err := forecast.NewPredictor(cfg.Forecast)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+	}
+	return &Controller{
+		cfg:     cfg,
+		mpc:     mpc,
+		slp:     slp,
+		preds:   preds,
+		budgets: budgets,
+		state:   make([]float64, n+1),
+	}, nil
+}
+
+// Budgets returns a copy of the active per-IDC budgets (0 = none).
+func (c *Controller) Budgets() []float64 {
+	cp := make([]float64, len(c.budgets))
+	copy(cp, c.budgets)
+	return cp
+}
+
+// SetBudgets replaces the per-IDC power budgets at runtime — a grid
+// demand-response event. Zero entries mean unconstrained. The new budgets
+// take effect at the next slow tick; pass immediate=true to re-solve the
+// reference now so the very next fast step already tracks them.
+func (c *Controller) SetBudgets(budgets []float64, immediate bool) error {
+	n := c.cfg.Topology.N()
+	if len(budgets) != n {
+		return fmt.Errorf("%d budgets for %d IDCs: %w", len(budgets), n, ErrBadConfig)
+	}
+	for j, b := range budgets {
+		if b < 0 {
+			return fmt.Errorf("budget[%d] = %g: %w", j, b, ErrBadConfig)
+		}
+	}
+	copy(c.budgets, budgets)
+	if immediate && c.started && c.lastDemands != nil {
+		return c.slowTick(c.hourAt(c.step), c.lastDemands)
+	}
+	return nil
+}
+
+// hourAt maps a step index to the price-trace hour.
+func (c *Controller) hourAt(step int) int {
+	return c.cfg.StartHour + int(float64(step)*c.cfg.Ts/3600)
+}
+
+// Step advances one fast-loop period with the observed portal demands and
+// returns the telemetry record.
+func (c *Controller) Step(demands []float64) (*Telemetry, error) {
+	top := c.cfg.Topology
+	if len(demands) != top.C() {
+		return nil, fmt.Errorf("%d demands for %d portals: %w", len(demands), top.C(), ErrBadConfig)
+	}
+	for i, d := range demands {
+		if d < 0 {
+			return nil, fmt.Errorf("demand[%d] = %g: %w", i, d, ErrBadConfig)
+		}
+	}
+	if !top.Feasible(demands) {
+		return nil, fmt.Errorf("total demand exceeds capacity: %w", ErrInfeasible)
+	}
+	hour := c.hourAt(c.step)
+
+	// Feed the forecasters every step; they are cheap and the slow loop
+	// reads multi-step predictions from them.
+	if c.preds != nil {
+		for i, p := range c.preds {
+			p.Observe(demands[i])
+		}
+	}
+
+	if !c.started || c.step%c.cfg.SlowEvery == 0 {
+		if err := c.slowTick(hour, demands); err != nil {
+			return nil, err
+		}
+	}
+	c.lastDemands = append(c.lastDemands[:0], demands...)
+
+	// Fast loop: constrained MPC over ΔU against the clamped reference.
+	out, err := c.mpc.Step(ctrl.StepInput{
+		Model:        c.model,
+		State:        c.state,
+		PrevU:        c.u,
+		Servers:      c.servers,
+		Demands:      demands,
+		RefPower:     c.refPower,
+		RefPowerTraj: c.refTraj,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fast loop: %w", err)
+	}
+	newAlloc, err := idc.AllocationFromVector(top, out.U)
+	if err != nil {
+		return nil, err
+	}
+	newServers, err := c.slp.Counts(newAlloc, c.servers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Advance the true plant: integrate energy/cost with the applied input.
+	newState, err := c.model.Step(c.state, out.U, newServers)
+	if err != nil {
+		return nil, err
+	}
+	watts, err := c.model.PowerRates(out.U, newServers)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := c.latencies(newAlloc, newServers)
+	if err != nil {
+		return nil, err
+	}
+	var costRate float64 // $/h
+	for j, w := range watts {
+		pr := c.prices[j]
+		if pr < 0 {
+			pr = 0
+		}
+		costRate += pr * power.WattsToMW(w)
+	}
+	c.cumCost += costRate * c.cfg.Ts / 3600
+
+	c.state = newState
+	c.u = out.U
+	c.servers = newServers
+
+	tel := &Telemetry{
+		Step:           c.step,
+		Hour:           hour,
+		Prices:         append([]float64{}, c.prices...),
+		Demands:        append([]float64{}, demands...),
+		U:              append([]float64{}, c.u...),
+		Servers:        append([]int{}, c.servers...),
+		PowerWatts:     watts,
+		LatencySeconds: lat,
+		RefPowerWatts:  append([]float64{}, c.refPower...),
+		BudgetWatts:    c.Budgets(),
+		CostRate:       costRate,
+		CumulativeCost: c.cumCost,
+		QPIterations:   out.QPIterations,
+	}
+	c.step++
+	return tel, nil
+}
+
+// slowTick refreshes prices, the model, the reference optimizer and the
+// budget clamp.
+func (c *Controller) slowTick(hour int, demands []float64) error {
+	top := c.cfg.Topology
+	n := top.N()
+
+	// Current prices per region; the bid-stack model sees our latest power.
+	prices := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var loadMW float64
+		if c.started {
+			rates, err := c.model.PowerRates(c.u, c.servers)
+			if err == nil {
+				loadMW = power.WattsToMW(rates[j])
+			}
+		}
+		p, err := c.cfg.Prices.Price(top.IDC(j).Region, hour, loadMW)
+		if err != nil {
+			return fmt.Errorf("core: price for idc %d: %w", j, err)
+		}
+		prices[j] = p
+	}
+	c.prices = prices
+
+	// Rebuild the folded model (eq. 36) with the new prices.
+	model, err := ctrl.NewFoldedModel(top, prices, c.cfg.Ts)
+	if err != nil {
+		return err
+	}
+	c.model = model
+
+	// Reference optimizer input: predicted demand when forecasting.
+	refDemands := demands
+	if c.preds != nil {
+		predicted := make([]float64, len(demands))
+		usable := true
+		for i, p := range c.preds {
+			f, err := p.Forecast(1)
+			if err != nil || f[0] < 0 {
+				usable = false
+				break
+			}
+			predicted[i] = f[0]
+		}
+		if usable && top.Feasible(predicted) {
+			refDemands = predicted
+		}
+	}
+	// §IV.D peak shaving: prefer the budget-aware reference LP, which
+	// re-routes workload displaced by a binding budget to unconstrained
+	// IDCs. When even that is infeasible (budgets too tight for the
+	// demand), fall back to the unconstrained optimum with a bare clamp —
+	// budgets degrade to soft targets, exactly the paper's formulation.
+	ref, err := alloc.OptimizeWithBudgets(top, prices, refDemands, c.budgets)
+	if err != nil && errors.Is(err, alloc.ErrInfeasible) && anyPositive(c.budgets) {
+		ref, err = alloc.Optimize(top, prices, refDemands)
+	}
+	if err != nil {
+		if errors.Is(err, alloc.ErrInfeasible) {
+			return fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return fmt.Errorf("core: reference optimizer: %w", err)
+	}
+	refPower := make([]float64, n)
+	for j := 0; j < n; j++ {
+		refPower[j] = ref.PowerWatts[j]
+		if b := c.budgets[j]; b > 0 && refPower[j] > b {
+			refPower[j] = b
+		}
+	}
+	c.refPower = refPower
+
+	// With forecasting active, build the eq. (41) reference trajectory
+	// Υ(k): one budget-aware LP per prediction step over the multi-step
+	// demand forecast. Any unusable step truncates the trajectory (the MPC
+	// holds the last usable entry).
+	c.refTraj = nil
+	if c.preds != nil {
+		c.refTraj = c.referenceTrajectory(prices)
+	}
+
+	if !c.started {
+		// Cold start: adopt the reference allocation outright.
+		c.u = ref.Allocation.Vector()
+		servers, err := c.slp.Counts(ref.Allocation, nil)
+		if err != nil {
+			return err
+		}
+		c.servers = servers
+		c.started = true
+	}
+	return nil
+}
+
+// latencies evaluates the achieved eq. (14) latency per IDC.
+func (c *Controller) latencies(a *idc.Allocation, servers []int) ([]float64, error) {
+	top := c.cfg.Topology
+	per := a.PerIDC()
+	out := make([]float64, top.N())
+	for j := range out {
+		d := top.IDC(j)
+		l, err := queueing.Latency(servers[j], d.ServiceRate, per[j])
+		if err != nil {
+			return nil, fmt.Errorf("core: latency idc %d: %w", j, err)
+		}
+		out[j] = l
+	}
+	return out, nil
+}
+
+// referenceTrajectory predicts demand β1 steps ahead and solves the
+// budget-aware reference LP at each step.
+func (c *Controller) referenceTrajectory(prices []float64) [][]float64 {
+	top := c.cfg.Topology
+	h := c.mpc.Config().PredHorizon
+	perPortal := make([][]float64, top.C())
+	for i, p := range c.preds {
+		f, err := p.Forecast(h)
+		if err != nil {
+			return nil
+		}
+		perPortal[i] = f
+	}
+	traj := make([][]float64, 0, h)
+	for s := 0; s < h; s++ {
+		demands := make([]float64, top.C())
+		for i := range demands {
+			d := perPortal[i][s]
+			if d < 0 {
+				d = 0
+			}
+			demands[i] = d
+		}
+		if !top.Feasible(demands) {
+			break
+		}
+		ref, err := alloc.OptimizeWithBudgets(top, prices, demands, c.budgets)
+		if err != nil {
+			if !errors.Is(err, alloc.ErrInfeasible) || !anyPositive(c.budgets) {
+				break
+			}
+			ref, err = alloc.Optimize(top, prices, demands)
+			if err != nil {
+				break
+			}
+		}
+		stepRef := make([]float64, top.N())
+		for j := range stepRef {
+			stepRef[j] = ref.PowerWatts[j]
+			if b := c.budgets[j]; b > 0 && stepRef[j] > b {
+				stepRef[j] = b
+			}
+		}
+		traj = append(traj, stepRef)
+	}
+	if len(traj) == 0 {
+		return nil
+	}
+	return traj
+}
+
+func anyPositive(xs []float64) bool {
+	for _, x := range xs {
+		if x > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// State returns a copy of the current plant state (C̄, E1 … EN).
+func (c *Controller) State() []float64 {
+	cp := make([]float64, len(c.state))
+	copy(cp, c.state)
+	return cp
+}
+
+// Allocation returns the currently applied allocation, or nil before the
+// first step.
+func (c *Controller) Allocation() *idc.Allocation {
+	if c.u == nil {
+		return nil
+	}
+	a, err := idc.AllocationFromVector(c.cfg.Topology, c.u)
+	if err != nil {
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,727 @@
+package ctrl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/idc"
+	"repro/internal/mat"
+	"repro/internal/workload"
+)
+
+var (
+	testPrices6H = []float64{43.26, 30.26, 19.06}
+	testPrices7H = []float64{49.90, 29.47, 77.97}
+)
+
+func newTestModel(t *testing.T, prices []float64, ts float64) *Model {
+	t.Helper()
+	m, err := NewModel(idc.PaperTopology(), prices, ts)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	top := idc.PaperTopology()
+	if _, err := NewModel(nil, testPrices6H, 1); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("nil topology: %v", err)
+	}
+	if _, err := NewModel(top, []float64{1}, 1); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("short prices: %v", err)
+	}
+	if _, err := NewModel(top, testPrices6H, 0); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("ts=0: %v", err)
+	}
+}
+
+func TestModelMatrixShapes(t *testing.T) {
+	m := newTestModel(t, testPrices6H, 30)
+	if m.StateDim() != 4 || m.InputDim() != 15 {
+		t.Fatalf("dims = %d, %d; want 4, 15", m.StateDim(), m.InputDim())
+	}
+	if m.A.Rows() != 4 || m.A.Cols() != 4 {
+		t.Fatalf("A is %dx%d", m.A.Rows(), m.A.Cols())
+	}
+	if m.B.Rows() != 4 || m.B.Cols() != 15 {
+		t.Fatalf("B is %dx%d", m.B.Rows(), m.B.Cols())
+	}
+	if m.F.Rows() != 4 || m.F.Cols() != 3 {
+		t.Fatalf("F is %dx%d", m.F.Rows(), m.F.Cols())
+	}
+	// A row 0 carries prices; everything else zero.
+	for j, p := range testPrices6H {
+		if m.A.At(0, 1+j) != p {
+			t.Fatalf("A[0][%d] = %g, want %g", 1+j, m.A.At(0, 1+j), p)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if m.A.At(i, j) != 0 {
+				t.Fatalf("A[%d][%d] = %g, want 0", i, j, m.A.At(i, j))
+			}
+		}
+	}
+}
+
+func TestModelDiscretizationClosedForm(t *testing.T) {
+	// A is nilpotent (A² = 0) so Φ = I + A·Ts and G = B·Ts + A·B·Ts²/2,
+	// Γ = F·Ts + A·F·Ts²/2 exactly.
+	ts := 30.0
+	m := newTestModel(t, testPrices6H, ts)
+	wantPhi, _ := mat.Add(mat.Identity(4), mat.Scale(ts, m.A))
+	if !mat.Equalish(m.Phi, wantPhi, 1e-8) {
+		t.Fatalf("Φ mismatch:\n%v\nwant\n%v", m.Phi, wantPhi)
+	}
+	ab, _ := mat.Mul(m.A, m.B)
+	wantG, _ := mat.Add(mat.Scale(ts, m.B), mat.Scale(ts*ts/2, ab))
+	if !mat.Equalish(m.G, wantG, 1e-5) {
+		t.Fatal("G mismatch with closed form")
+	}
+	af, _ := mat.Mul(m.A, m.F)
+	wantGam, _ := mat.Add(mat.Scale(ts, m.F), mat.Scale(ts*ts/2, af))
+	if !mat.Equalish(m.Gamma, wantGam, 1e-5) {
+		t.Fatal("Γ mismatch with closed form")
+	}
+}
+
+func TestControllability(t *testing.T) {
+	// Positive prices and b1 > 0 → completely controllable (paper's
+	// Workload Loop Controllability Condition).
+	m := newTestModel(t, testPrices6H, 30)
+	if !m.Controllable() {
+		r, _ := m.ControllabilityRank()
+		t.Fatalf("rank = %d, want %d", r, m.StateDim())
+	}
+	// Zero prices break the cost row's reachability.
+	m0 := newTestModel(t, []float64{0, 0, 0}, 30)
+	if m0.Controllable() {
+		t.Fatal("zero-price system reported controllable")
+	}
+}
+
+func TestModelStepIntegratesEnergy(t *testing.T) {
+	ts := 10.0
+	m := newTestModel(t, testPrices6H, ts)
+	top := m.Topology()
+	// Constant allocation: 1000 req/s from portal 0 to each IDC.
+	u := make([]float64, m.InputDim())
+	for j := 0; j < top.N(); j++ {
+		u[top.Index(0, j)] = 1000
+	}
+	servers := []int{1000, 1000, 1000}
+	x := make([]float64, m.StateDim())
+	var err error
+	for k := 0; k < 6; k++ { // one minute
+		x, err = m.Step(x, u, servers)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	// E_j after 60 s of constant power P_j = b1·1000 + 1000·b0.
+	for j := 0; j < top.N(); j++ {
+		d := top.IDC(j)
+		wantP := d.Power.FleetPower(1000, 1000)
+		if got := x[1+j] / 60; math.Abs(got-wantP) > 1e-6*wantP {
+			t.Fatalf("idc %d mean power %g, want %g", j, got, wantP)
+		}
+	}
+	// C̄ = Σ Pr_j · ∫E_j: with E linear in t, ∫E dt = P·t²/2.
+	var wantC float64
+	for j := 0; j < top.N(); j++ {
+		d := top.IDC(j)
+		wantC += testPrices6H[j] * d.Power.FleetPower(1000, 1000) * 60 * 60 / 2
+	}
+	if math.Abs(x[0]-wantC) > 1e-6*wantC {
+		t.Fatalf("C̄ = %g, want %g", x[0], wantC)
+	}
+}
+
+func TestModelStepValidation(t *testing.T) {
+	m := newTestModel(t, testPrices6H, 10)
+	if _, err := m.Step([]float64{1}, make([]float64, 15), []int{1, 1, 1}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("short state: %v", err)
+	}
+	if _, err := m.Step(make([]float64, 4), []float64{1}, []int{1, 1, 1}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("short input: %v", err)
+	}
+	if _, err := m.Step(make([]float64, 4), make([]float64, 15), []int{1}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("short servers: %v", err)
+	}
+	if _, err := m.PowerRates([]float64{1}, []int{1, 1, 1}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("PowerRates short input: %v", err)
+	}
+	if _, err := m.PowerRates(make([]float64, 15), []int{1}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("PowerRates short servers: %v", err)
+	}
+}
+
+func TestPowerRates(t *testing.T) {
+	m := newTestModel(t, testPrices6H, 10)
+	top := m.Topology()
+	u := make([]float64, m.InputDim())
+	u[top.Index(0, 0)] = 2000
+	rates, err := m.PowerRates(u, []int{1500, 0, 0})
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	want := top.IDC(0).Power.FleetPower(1500, 2000)
+	if math.Abs(rates[0]-want) > 1e-9 {
+		t.Fatalf("rate[0] = %g, want %g", rates[0], want)
+	}
+	if rates[1] != 0 || rates[2] != 0 {
+		t.Fatalf("idle IDCs draw power: %v", rates)
+	}
+}
+
+func TestNewMPCValidation(t *testing.T) {
+	bad := []MPCConfig{
+		{PredHorizon: 2, CtrlHorizon: 3}, // β2 > β1
+		{PredHorizon: -1},                // negative
+		{CostWeight: -1},                 // negative weight
+		{CostWeight: 0, PowerWeight: 0, SmoothWeight: 1, PredHorizon: 4, CtrlHorizon: 2}, // no tracking
+	}
+	for i, cfg := range bad {
+		if _, err := NewMPC(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %d: %v, want ErrBadConfig", i, err)
+		}
+	}
+	m, err := NewMPC(MPCConfig{PowerWeight: 1})
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if c := m.Config(); c.PredHorizon != 8 || c.CtrlHorizon != 3 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+// feasibleStart returns the price-ordered allocation as (U, servers) so
+// tests begin from a realistic operating point.
+func feasibleStart(t *testing.T, prices []float64) ([]float64, []int) {
+	t.Helper()
+	top := idc.PaperTopology()
+	// The LP optimum respects the latency reserve, so the eq. (35) server
+	// counts below never clamp and the start point satisfies the MPC caps.
+	res, err := alloc.Optimize(top, prices, workload.TableI())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	per := res.Allocation.PerIDC()
+	servers := make([]int, top.N())
+	for j := range servers {
+		m, err := top.IDC(j).MinServersFor(per[j])
+		if err != nil {
+			t.Fatalf("MinServersFor: %v", err)
+		}
+		servers[j] = m
+	}
+	return res.Allocation.Vector(), servers
+}
+
+func TestMPCStepHoldsAtReference(t *testing.T) {
+	// Start at the optimal allocation with references equal to current
+	// powers: the controller should stay put (ΔU ≈ 0).
+	model := newTestModel(t, testPrices6H, 30)
+	u0, servers := feasibleStart(t, testPrices6H)
+	refPower, err := model.PowerRates(u0, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 1e-6})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	out, err := mpc.Step(StepInput{
+		Model:    model,
+		State:    make([]float64, model.StateDim()),
+		PrevU:    u0,
+		Servers:  servers,
+		Demands:  workload.TableI(),
+		RefPower: refPower,
+	})
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	perStep := mat.NormInfVec(out.DeltaU)
+	total := mat.NormInfVec(u0)
+	if perStep > 0.01*total {
+		t.Fatalf("ΔU norm %g vs allocation scale %g; want ≈ 0", perStep, total)
+	}
+}
+
+func TestMPCStepMovesTowardNewReference(t *testing.T) {
+	// Reference = 7H optimal powers while sitting at the 6H allocation:
+	// the first move must head toward the new reference at every IDC.
+	model := newTestModel(t, testPrices7H, 30)
+	u6, servers6 := feasibleStart(t, testPrices6H)
+	u7, _ := feasibleStart(t, testPrices7H)
+	top := model.Topology()
+	// Max servers everywhere so latency caps don't bind the transition.
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	_ = servers6
+	refPower, err := model.PowerRates(u7, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 1e-5})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	out, err := mpc.Step(StepInput{
+		Model:    model,
+		State:    make([]float64, model.StateDim()),
+		PrevU:    u6,
+		Servers:  servers,
+		Demands:  workload.TableI(),
+		RefPower: refPower,
+	})
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	before, _ := model.PowerRates(u6, servers)
+	after, err := model.PowerRates(out.U, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	var improved bool
+	for j := range refPower {
+		d0 := math.Abs(before[j] - refPower[j])
+		d1 := math.Abs(after[j] - refPower[j])
+		// Tolerance relative to the multi-MW power scale: conservation
+		// coupling wiggles already-converged IDCs by a few hundred watts
+		// while load moves between the others.
+		if d1 > d0+1e-4*(refPower[j]+1) {
+			t.Fatalf("idc %d moved away from reference: |err| %g → %g", j, d0, d1)
+		}
+		if d1 < d0-1 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Fatal("no IDC moved toward the new reference")
+	}
+}
+
+func TestMPCSmoothingWeightSlowsMoves(t *testing.T) {
+	// Higher R ⇒ smaller first move toward the same far-away reference.
+	model := newTestModel(t, testPrices7H, 30)
+	u6, _ := feasibleStart(t, testPrices6H)
+	u7, _ := feasibleStart(t, testPrices7H)
+	top := model.Topology()
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	refPower, err := model.PowerRates(u7, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	move := func(smooth float64) float64 {
+		mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: smooth})
+		if err != nil {
+			t.Fatalf("NewMPC: %v", err)
+		}
+		out, err := mpc.Step(StepInput{
+			Model:    model,
+			State:    make([]float64, model.StateDim()),
+			PrevU:    u6,
+			Servers:  servers,
+			Demands:  workload.TableI(),
+			RefPower: refPower,
+		})
+		if err != nil {
+			t.Fatalf("Step(smooth=%g): %v", smooth, err)
+		}
+		return mat.NormVec(out.DeltaU)
+	}
+	gentle := move(20)
+	aggressive := move(1e-4)
+	if !(gentle < 0.8*aggressive) {
+		t.Fatalf("smoothing did not damp the move: R-heavy %g vs R-light %g", gentle, aggressive)
+	}
+}
+
+func TestMPCRespectsConstraintsEveryStep(t *testing.T) {
+	// Drive a few closed-loop steps and assert conservation, latency caps
+	// and nonnegativity hold for every applied U.
+	model := newTestModel(t, testPrices7H, 30)
+	top := model.Topology()
+	u, _ := feasibleStart(t, testPrices6H)
+	u7, _ := feasibleStart(t, testPrices7H)
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	refPower, err := model.PowerRates(u7, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 1e-4})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	state := make([]float64, model.StateDim())
+	demands := workload.TableI()
+	for k := 0; k < 10; k++ {
+		out, err := mpc.Step(StepInput{
+			Model:    model,
+			State:    state,
+			PrevU:    u,
+			Servers:  servers,
+			Demands:  demands,
+			RefPower: refPower,
+		})
+		if err != nil {
+			t.Fatalf("Step %d: %v", k, err)
+		}
+		u = out.U
+		a, err := idc.AllocationFromVector(top, u)
+		if err != nil {
+			t.Fatalf("AllocationFromVector: %v", err)
+		}
+		per := a.PerPortal()
+		for i := range demands {
+			if math.Abs(per[i]-demands[i]) > 1e-3 {
+				t.Fatalf("step %d portal %d: served %g, want %g", k, i, per[i], demands[i])
+			}
+		}
+		perIDC := a.PerIDC()
+		for j := 0; j < top.N(); j++ {
+			d := top.IDC(j)
+			capj := float64(servers[j])*d.ServiceRate - 1/d.DelayBound
+			if perIDC[j] > capj+1e-3 {
+				t.Fatalf("step %d idc %d: load %g exceeds cap %g", k, j, perIDC[j], capj)
+			}
+		}
+		for _, v := range u {
+			if v < -1e-6 {
+				t.Fatalf("step %d: negative allocation %g", k, v)
+			}
+		}
+		state, err = model.Step(state, u, servers)
+		if err != nil {
+			t.Fatalf("model.Step: %v", err)
+		}
+	}
+}
+
+func TestMPCConvergesToReference(t *testing.T) {
+	// Closed loop from 6H allocation toward 7H reference: per-IDC power
+	// must approach the reference monotonically-ish and land close.
+	model := newTestModel(t, testPrices7H, 30)
+	top := model.Topology()
+	u, _ := feasibleStart(t, testPrices6H)
+	u7, _ := feasibleStart(t, testPrices7H)
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	refPower, err := model.PowerRates(u7, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 1e-4})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	state := make([]float64, model.StateDim())
+	for k := 0; k < 40; k++ {
+		out, err := mpc.Step(StepInput{
+			Model:    model,
+			State:    state,
+			PrevU:    u,
+			Servers:  servers,
+			Demands:  workload.TableI(),
+			RefPower: refPower,
+		})
+		if err != nil {
+			t.Fatalf("Step %d: %v", k, err)
+		}
+		u = out.U
+		state, err = model.Step(state, u, servers)
+		if err != nil {
+			t.Fatalf("model.Step: %v", err)
+		}
+	}
+	got, err := model.PowerRates(u, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	for j := range refPower {
+		rel := math.Abs(got[j]-refPower[j]) / (refPower[j] + 1)
+		if rel > 0.05 {
+			t.Fatalf("idc %d power %g did not converge to %g (rel %g)", j, got[j], refPower[j], rel)
+		}
+	}
+}
+
+func TestMPCInfeasibleDemand(t *testing.T) {
+	model := newTestModel(t, testPrices6H, 30)
+	top := model.Topology()
+	u0 := make([]float64, model.InputDim())
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	demands := []float64{1e6, 0, 0, 0, 0} // beyond total capacity
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 1e-4})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	_, err = mpc.Step(StepInput{
+		Model:    model,
+		State:    make([]float64, model.StateDim()),
+		PrevU:    u0,
+		Servers:  servers,
+		Demands:  demands,
+		RefPower: []float64{1e6, 1e6, 1e6},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Step = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMPCStepInputValidation(t *testing.T) {
+	model := newTestModel(t, testPrices6H, 30)
+	mpc, _ := NewMPC(MPCConfig{PowerWeight: 1})
+	base := StepInput{
+		Model:    model,
+		State:    make([]float64, 4),
+		PrevU:    make([]float64, 15),
+		Servers:  []int{1, 1, 1},
+		Demands:  make([]float64, 5),
+		RefPower: make([]float64, 3),
+	}
+	mutations := map[string]func(*StepInput){
+		"nil model":     func(s *StepInput) { s.Model = nil },
+		"short state":   func(s *StepInput) { s.State = []float64{1} },
+		"short prevU":   func(s *StepInput) { s.PrevU = []float64{1} },
+		"short servers": func(s *StepInput) { s.Servers = []int{1} },
+		"short demands": func(s *StepInput) { s.Demands = []float64{1} },
+		"short refs":    func(s *StepInput) { s.RefPower = []float64{1} },
+	}
+	for name, mutate := range mutations {
+		in := base
+		mutate(&in)
+		if _, err := mpc.Step(in); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestMPCReferenceTrajectory(t *testing.T) {
+	// A trajectory that climbs toward the target should produce a smaller
+	// first move than jumping straight to the final reference — the
+	// controller sees it does not need to be there yet.
+	model := newTestModel(t, testPrices7H, 30)
+	u6, _ := feasibleStart(t, testPrices6H)
+	u7, _ := feasibleStart(t, testPrices7H)
+	top := model.Topology()
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	start, err := model.PowerRates(u6, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	target, err := model.PowerRates(u7, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 1e-4})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	base := StepInput{
+		Model:    model,
+		State:    make([]float64, model.StateDim()),
+		PrevU:    u6,
+		Servers:  servers,
+		Demands:  workload.TableI(),
+		RefPower: target,
+	}
+	flat, err := mpc.Step(base)
+	if err != nil {
+		t.Fatalf("Step flat: %v", err)
+	}
+	// Gradual trajectory: linear interpolation over the horizon.
+	h := mpc.Config().PredHorizon
+	traj := make([][]float64, h)
+	for s := 0; s < h; s++ {
+		frac := float64(s+1) / float64(h)
+		row := make([]float64, top.N())
+		for j := range row {
+			row[j] = start[j] + frac*(target[j]-start[j])
+		}
+		traj[s] = row
+	}
+	in := base
+	in.RefPowerTraj = traj
+	gradual, err := mpc.Step(in)
+	if err != nil {
+		t.Fatalf("Step trajectory: %v", err)
+	}
+	if !(mat.NormVec(gradual.DeltaU) < 0.8*mat.NormVec(flat.DeltaU)) {
+		t.Fatalf("trajectory first move %g not smaller than flat %g",
+			mat.NormVec(gradual.DeltaU), mat.NormVec(flat.DeltaU))
+	}
+}
+
+func TestMPCTrajectoryShorterThanHorizonHeld(t *testing.T) {
+	model := newTestModel(t, testPrices7H, 30)
+	u6, _ := feasibleStart(t, testPrices6H)
+	top := model.Topology()
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	ref, err := model.PowerRates(u6, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 1e-4})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	// One-entry trajectory = constant reference; result must match the
+	// RefPower path closely.
+	a, err := mpc.Step(StepInput{
+		Model: model, State: make([]float64, 4), PrevU: u6,
+		Servers: servers, Demands: workload.TableI(), RefPower: ref,
+	})
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	b, err := mpc.Step(StepInput{
+		Model: model, State: make([]float64, 4), PrevU: u6,
+		Servers: servers, Demands: workload.TableI(), RefPower: ref,
+		RefPowerTraj: [][]float64{ref},
+	})
+	if err != nil {
+		t.Fatalf("Step traj: %v", err)
+	}
+	if mat.NormInfVec(mat.SubVec(a.U, b.U)) > 1e-6*(1+mat.NormInfVec(a.U)) {
+		t.Fatal("single-entry trajectory diverges from constant reference")
+	}
+}
+
+// TestPredictedStatesMatchPlantPropagation validates the condensed
+// prediction matrices: X(k+s|k) from the MPC must equal propagating the
+// plant step by step with the planned input sequence. This pins down the
+// Θ/Ξ/Ω construction against an independent computation.
+func TestPredictedStatesMatchPlantPropagation(t *testing.T) {
+	model := newTestModel(t, testPrices7H, 30)
+	top := model.Topology()
+	u6, _ := feasibleStart(t, testPrices6H)
+	u7, _ := feasibleStart(t, testPrices7H)
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	refPower, err := model.PowerRates(u7, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 2, PredHorizon: 5, CtrlHorizon: 2})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	state := []float64{1e9, 2e8, 3e8, 4e8} // arbitrary nonzero start
+	out, err := mpc.Step(StepInput{
+		Model:    model,
+		State:    state,
+		PrevU:    u6,
+		Servers:  servers,
+		Demands:  workload.TableI(),
+		RefPower: refPower,
+	})
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	// Reconstruct the planned input sequence: U(k) from the first move; the
+	// MPC holds ΔU beyond the control horizon at zero, so U stays at the
+	// cumulative value. We only know ΔU_0 from the output; re-derive the
+	// rest by solving again with the same inputs is circular — instead
+	// verify s=1 exactly and the remaining steps for consistency with the
+	// dynamics under *some* constant input (the prediction uses the planned
+	// ΔU_1, which we don't see). So: check s=1 against model.Step.
+	x1, err := model.Step(state, out.U, servers)
+	if err != nil {
+		t.Fatalf("model.Step: %v", err)
+	}
+	got := out.PredictedStates[0]
+	for i := range x1 {
+		scale := math.Abs(x1[i]) + 1
+		if math.Abs(got[i]-x1[i])/scale > 1e-9 {
+			t.Fatalf("predicted X(k+1)[%d] = %g, plant gives %g", i, got[i], x1[i])
+		}
+	}
+	if len(out.PredictedStates) != 5 {
+		t.Fatalf("predicted %d steps, want β1=5", len(out.PredictedStates))
+	}
+}
+
+// TestFoldedModelMatchesPlantWithSleepLaw: the folded model's power
+// prediction (b1+b0/µ)λ + b0/(µD) must match the true plant evaluated with
+// the continuous eq. (35) server count (up to the integer ceil quantum).
+func TestFoldedModelMatchesPlantWithSleepLaw(t *testing.T) {
+	top := idc.PaperTopology()
+	folded, err := NewFoldedModel(top, testPrices6H, 30)
+	if err != nil {
+		t.Fatalf("NewFoldedModel: %v", err)
+	}
+	u := make([]float64, folded.InputDim())
+	loads := []float64{20000, 30000, 15000}
+	for j, l := range loads {
+		u[top.Index(0, j)] = l
+	}
+	// Folded prediction: Ė = B·u + Γ-term; read it off the B/F matrices.
+	for j := 0; j < top.N(); j++ {
+		d := top.IDC(j)
+		eff := folded.B.At(1+j, top.Index(0, j))
+		wantEff := d.Power.B1 + d.Power.B0/d.ServiceRate
+		if math.Abs(eff-wantEff) > 1e-12 {
+			t.Fatalf("idc %d folded gain %g, want %g", j, eff, wantEff)
+		}
+		predicted := eff*loads[j] + d.Power.B0/(d.ServiceRate*d.DelayBound)
+		// True plant with the integer eq. (35) servers.
+		m, err := d.MinServersFor(loads[j])
+		if err != nil {
+			t.Fatalf("MinServersFor: %v", err)
+		}
+		actual := d.Power.FleetPower(m, loads[j])
+		// The ceil adds at most one server's idle draw.
+		if diff := math.Abs(predicted - actual); diff > d.Power.B0+1e-9 {
+			t.Fatalf("idc %d: folded %g vs plant %g (diff %g)", j, predicted, actual, diff)
+		}
+	}
+	// DisturbanceVec carries the standby terms, and CapServers the fleet.
+	v := folded.DisturbanceVec(nil)
+	for j := 0; j < top.N(); j++ {
+		d := top.IDC(j)
+		if math.Abs(v[j]-1/(d.ServiceRate*d.DelayBound)) > 1e-12 {
+			t.Fatalf("disturbance[%d] = %g", j, v[j])
+		}
+	}
+	caps := folded.CapServers([]int{1, 1, 1})
+	for j := 0; j < top.N(); j++ {
+		if caps[j] != top.IDC(j).TotalServers {
+			t.Fatalf("cap servers[%d] = %d", j, caps[j])
+		}
+	}
+	// Plain model passes servers through.
+	plain := newTestModel(t, testPrices6H, 30)
+	if got := plain.CapServers([]int{7, 8, 9}); got[0] != 7 || got[2] != 9 {
+		t.Fatalf("plain cap servers = %v", got)
+	}
+	if got := plain.DisturbanceVec([]int{7, 8, 9}); got[1] != 8 {
+		t.Fatalf("plain disturbance = %v", got)
+	}
+}

@@ -1,0 +1,301 @@
+// Package ctrl implements the paper's feedback-control solution (§IV): the
+// continuous-time state-space model of electricity cost (eqs. 19–20), its
+// zero-order-hold discretization (eqs. 21–25), the workload-loop
+// controllability condition, and the constrained model-predictive controller
+// obtained by condensing eqs. (36)–(41) into the standard least-squares
+// problem (42) with constraints (43)–(45).
+//
+// State convention (matching the paper):
+//
+//	X = (C̄, E1 … EN)ᵀ
+//
+// where C̄ accumulates Σ_j Pr_j·E_j and E_j accumulates IDC j's energy
+// (Ė_j = P_j = b1_j·λ_j + b0_j·m_j). The control input is the allocation
+// vector U ∈ ℝ^{NC} in idc.Topology order, and the disturbance V is the
+// active-server count vector.
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/idc"
+	"repro/internal/mat"
+)
+
+// ErrBadModel is returned for invalid model construction inputs.
+var ErrBadModel = errors.New("ctrl: invalid model input")
+
+// Model is the discretized state-space system for one price vector.
+// Prices enter the A matrix, so the model is rebuilt whenever the
+// real-time price changes (once per slow-loop tick).
+type Model struct {
+	top    *idc.Topology
+	prices []float64
+	ts     float64
+	folded bool
+
+	// Continuous-time matrices (eqs. 19–20).
+	A *mat.Dense // (N+1)×(N+1)
+	B *mat.Dense // (N+1)×(NC)
+	F *mat.Dense // (N+1)×N
+
+	// Discrete-time matrices (eqs. 23–25).
+	Phi   *mat.Dense // e^{A·Ts}
+	G     *mat.Dense // ∫ e^{As} ds · B
+	Gamma *mat.Dense // ∫ e^{As} ds · F
+}
+
+// NewModel builds and discretizes the system for the given per-IDC prices
+// ($/MWh) and sampling period ts (seconds).
+func NewModel(top *idc.Topology, prices []float64, ts float64) (*Model, error) {
+	if top == nil {
+		return nil, fmt.Errorf("nil topology: %w", ErrBadModel)
+	}
+	if len(prices) != top.N() {
+		return nil, fmt.Errorf("%d prices for %d IDCs: %w", len(prices), top.N(), ErrBadModel)
+	}
+	if ts <= 0 {
+		return nil, fmt.Errorf("sampling period %g: %w", ts, ErrBadModel)
+	}
+	n, c := top.N(), top.C()
+	ns := n + 1
+
+	a := mat.Zeros(ns, ns)
+	for j := 0; j < n; j++ {
+		a.Set(0, 1+j, prices[j])
+	}
+	b := mat.Zeros(ns, top.NU())
+	f := mat.Zeros(ns, n)
+	for j := 0; j < n; j++ {
+		d := top.IDC(j)
+		for i := 0; i < c; i++ {
+			b.Set(1+j, top.Index(i, j), d.Power.B1)
+		}
+		f.Set(1+j, j, d.Power.B0)
+	}
+
+	// Discretize A with the concatenated input [B | F] in one Van Loan call.
+	bf := mat.Zeros(ns, top.NU()+n)
+	bf.SetBlock(0, 0, b)
+	bf.SetBlock(0, top.NU(), f)
+	phi, gAll, err := mat.Discretize(a, bf, ts)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: discretize: %w", err)
+	}
+	pr := make([]float64, len(prices))
+	copy(pr, prices)
+	return &Model{
+		top:    top,
+		prices: pr,
+		ts:     ts,
+		A:      a,
+		B:      b,
+		F:      f,
+		Phi:    phi,
+		G:      gAll.Slice(0, ns, 0, top.NU()),
+		Gamma:  gAll.Slice(0, ns, top.NU(), top.NU()+n),
+	}, nil
+}
+
+// Topology returns the model's topology.
+func (m *Model) Topology() *idc.Topology { return m.top }
+
+// Ts returns the sampling period in seconds.
+func (m *Model) Ts() float64 { return m.ts }
+
+// Prices returns a copy of the prices baked into A.
+func (m *Model) Prices() []float64 {
+	cp := make([]float64, len(m.prices))
+	copy(cp, m.prices)
+	return cp
+}
+
+// StateDim returns N+1.
+func (m *Model) StateDim() int { return m.top.N() + 1 }
+
+// InputDim returns N·C.
+func (m *Model) InputDim() int { return m.top.NU() }
+
+// ControllabilityRank returns the rank of the controllability matrix
+// [B AB … A^N B]. The paper's Workload Loop Controllability Condition holds
+// when this equals N+1, which is guaranteed for Pr_j > 0 and b1 > 0.
+func (m *Model) ControllabilityRank() (int, error) {
+	ns := m.StateDim()
+	blocks := make([]*mat.Dense, 0, ns)
+	cur := m.B
+	for i := 0; i < ns; i++ {
+		blocks = append(blocks, cur)
+		next, err := mat.Mul(m.A, cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	cm := mat.Zeros(ns, ns*m.InputDim())
+	for i, blk := range blocks {
+		cm.SetBlock(0, i*m.InputDim(), blk)
+	}
+	return mat.Rank(cm, 1e-12)
+}
+
+// Controllable reports whether the workload loop is completely controllable.
+func (m *Model) Controllable() bool {
+	r, err := m.ControllabilityRank()
+	return err == nil && r == m.StateDim()
+}
+
+// Step propagates the discrete dynamics one sampling period:
+//
+//	X(k) = Φ·X(k−1) + G·U(k−1) + Γ·V(k−1)
+//
+// with V the active-server counts.
+func (m *Model) Step(x, u []float64, servers []int) ([]float64, error) {
+	if len(x) != m.StateDim() {
+		return nil, fmt.Errorf("state length %d, want %d: %w", len(x), m.StateDim(), ErrBadModel)
+	}
+	if len(u) != m.InputDim() {
+		return nil, fmt.Errorf("input length %d, want %d: %w", len(u), m.InputDim(), ErrBadModel)
+	}
+	if len(servers) != m.top.N() {
+		return nil, fmt.Errorf("%d server counts for %d IDCs: %w", len(servers), m.top.N(), ErrBadModel)
+	}
+	px, err := mat.MulVec(m.Phi, x)
+	if err != nil {
+		return nil, err
+	}
+	gu, err := mat.MulVec(m.G, u)
+	if err != nil {
+		return nil, err
+	}
+	v := make([]float64, len(servers))
+	for j, s := range servers {
+		v[j] = float64(s)
+	}
+	gv, err := mat.MulVec(m.Gamma, v)
+	if err != nil {
+		return nil, err
+	}
+	return mat.AddVec(mat.AddVec(px, gu), gv), nil
+}
+
+// PowerRates returns each IDC's instantaneous power Ė_j = b1·λ_j + b0·m_j
+// for an allocation vector and server counts — the quantity plotted as
+// "power demand" in the paper's figures.
+func (m *Model) PowerRates(u []float64, servers []int) ([]float64, error) {
+	if len(u) != m.InputDim() {
+		return nil, fmt.Errorf("input length %d, want %d: %w", len(u), m.InputDim(), ErrBadModel)
+	}
+	if len(servers) != m.top.N() {
+		return nil, fmt.Errorf("%d server counts for %d IDCs: %w", len(servers), m.top.N(), ErrBadModel)
+	}
+	alloc, err := idc.AllocationFromVector(m.top, u)
+	if err != nil {
+		return nil, err
+	}
+	per := alloc.PerIDC()
+	out := make([]float64, m.top.N())
+	for j := range out {
+		out[j] = m.top.IDC(j).Power.FleetPower(servers[j], per[j])
+	}
+	return out, nil
+}
+
+// NewFoldedModel builds the model of eq. (36): the sleep-control law
+// m_j = (λ_j + 1/D_j)/µ_j is substituted into the plant, making the input
+// matrix G' = F + Γ·µ̄·Ψ in the paper's notation. Concretely each IDC's
+// power becomes an affine function of its workload alone:
+//
+//	Ė_j = (b1_j + b0_j/µ_j)·λ_j + b0_j/(µ_j·D_j)
+//
+// so the controller predicts server power without needing the integer
+// server count as an input; the constant second term is the disturbance Ω.
+// Latency caps for a folded model are the full-fleet capacities (the
+// per-step sleep law keeps m on the latency boundary by construction, so
+// only m_j ≤ M_j binds).
+func NewFoldedModel(top *idc.Topology, prices []float64, ts float64) (*Model, error) {
+	if top == nil {
+		return nil, fmt.Errorf("nil topology: %w", ErrBadModel)
+	}
+	if len(prices) != top.N() {
+		return nil, fmt.Errorf("%d prices for %d IDCs: %w", len(prices), top.N(), ErrBadModel)
+	}
+	if ts <= 0 {
+		return nil, fmt.Errorf("sampling period %g: %w", ts, ErrBadModel)
+	}
+	n, c := top.N(), top.C()
+	ns := n + 1
+
+	a := mat.Zeros(ns, ns)
+	for j := 0; j < n; j++ {
+		a.Set(0, 1+j, prices[j])
+	}
+	b := mat.Zeros(ns, top.NU())
+	f := mat.Zeros(ns, n)
+	for j := 0; j < n; j++ {
+		d := top.IDC(j)
+		eff := d.Power.B1 + d.Power.B0/d.ServiceRate
+		for i := 0; i < c; i++ {
+			b.Set(1+j, top.Index(i, j), eff)
+		}
+		f.Set(1+j, j, d.Power.B0)
+	}
+	bf := mat.Zeros(ns, top.NU()+n)
+	bf.SetBlock(0, 0, b)
+	bf.SetBlock(0, top.NU(), f)
+	phi, gAll, err := mat.Discretize(a, bf, ts)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: discretize: %w", err)
+	}
+	pr := make([]float64, len(prices))
+	copy(pr, prices)
+	return &Model{
+		top:    top,
+		prices: pr,
+		ts:     ts,
+		folded: true,
+		A:      a,
+		B:      b,
+		F:      f,
+		Phi:    phi,
+		G:      gAll.Slice(0, ns, 0, top.NU()),
+		Gamma:  gAll.Slice(0, ns, top.NU(), top.NU()+n),
+	}, nil
+}
+
+// Folded reports whether the sleep-control law is folded into the plant.
+func (m *Model) Folded() bool { return m.folded }
+
+// DisturbanceVec returns the V vector multiplying Γ: the active-server
+// counts for the plain model, or the constant standby terms 1/(µ_j·D_j)
+// for a folded model (servers is then ignored).
+func (m *Model) DisturbanceVec(servers []int) []float64 {
+	n := m.top.N()
+	v := make([]float64, n)
+	if m.folded {
+		for j := 0; j < n; j++ {
+			d := m.top.IDC(j)
+			v[j] = 1 / (d.ServiceRate * d.DelayBound)
+		}
+		return v
+	}
+	for j := 0; j < n && j < len(servers); j++ {
+		v[j] = float64(servers[j])
+	}
+	return v
+}
+
+// CapServers returns the server counts to use for the latency caps: the
+// actual counts for a plain model, the full fleet for a folded one.
+func (m *Model) CapServers(servers []int) []int {
+	if !m.folded {
+		cp := make([]int, len(servers))
+		copy(cp, servers)
+		return cp
+	}
+	out := make([]int, m.top.N())
+	for j := range out {
+		out[j] = m.top.IDC(j).TotalServers
+	}
+	return out
+}

@@ -1,0 +1,482 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/qp"
+)
+
+// MPC failure modes.
+var (
+	// ErrBadConfig is returned for invalid controller configurations.
+	ErrBadConfig = errors.New("ctrl: invalid MPC configuration")
+	// ErrInfeasible is returned when no allocation satisfies the workload
+	// and latency constraints over the control horizon.
+	ErrInfeasible = errors.New("ctrl: MPC constraints infeasible")
+)
+
+// MPCConfig parameterizes the controller.
+//
+// The paper's W selects only the scalar accumulated cost C̄. Tracking that
+// scalar cannot enforce per-IDC power budgets, yet §IV.D shaves peaks by
+// clamping each IDC's power reference, so we expose the natural
+// generalization: the controller tracks the full state (C̄, E1 … EN) with
+// per-component weights. CostWeight 0 with PowerWeight > 0 reproduces the
+// per-IDC budget-tracking behaviour of Figs. 6–7; PowerWeight 0 with
+// CostWeight > 0 is the paper's literal W.
+type MPCConfig struct {
+	// PredHorizon is β1 ≥ 1 (default 8).
+	PredHorizon int
+	// CtrlHorizon is β2 with 1 ≤ β2 ≤ β1 (default 3).
+	CtrlHorizon int
+	// CostWeight is the tracking weight on C̄ (default 0).
+	CostWeight float64
+	// PowerWeight is the tracking weight on each E_j (default 1).
+	PowerWeight float64
+	// SmoothWeight is the R penalty on ‖ΔU‖² — the paper's power-demand
+	// smoothing knob (default 0; set > 0 to smooth).
+	SmoothWeight float64
+}
+
+func (c *MPCConfig) defaults() error {
+	if c.PredHorizon == 0 {
+		c.PredHorizon = 8
+	}
+	if c.CtrlHorizon == 0 {
+		c.CtrlHorizon = 3
+	}
+	if c.PredHorizon < 1 || c.CtrlHorizon < 1 || c.CtrlHorizon > c.PredHorizon {
+		return fmt.Errorf("horizons β1=%d β2=%d: %w", c.PredHorizon, c.CtrlHorizon, ErrBadConfig)
+	}
+	if c.CostWeight < 0 || c.PowerWeight < 0 || c.SmoothWeight < 0 {
+		return fmt.Errorf("negative weight: %w", ErrBadConfig)
+	}
+	if c.CostWeight == 0 && c.PowerWeight == 0 {
+		return fmt.Errorf("all tracking weights zero: %w", ErrBadConfig)
+	}
+	return nil
+}
+
+// MPC is the receding-horizon controller. It is not safe for concurrent use.
+type MPC struct {
+	cfg MPCConfig
+	// prevZ caches the previous solve's move plan for warm-starting: the
+	// plan shifted one step left is usually feasible for the next problem
+	// and close to its optimum, cutting active-set iterations during
+	// transitions.
+	prevZ []float64
+}
+
+// NewMPC validates the configuration and returns a controller.
+func NewMPC(cfg MPCConfig) (*MPC, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &MPC{cfg: cfg}, nil
+}
+
+// Config returns the resolved configuration.
+func (m *MPC) Config() MPCConfig { return m.cfg }
+
+// StepInput carries everything one control step needs. The model is passed
+// per step because prices (and hence A) change between slow-loop ticks.
+type StepInput struct {
+	// Model is the current discretized system.
+	Model *Model
+	// State is X(k) = (C̄, E1 … EN).
+	State []float64
+	// PrevU is U(k−1), the allocation applied during the previous period.
+	PrevU []float64
+	// Servers is the current active-server vector m (disturbance V and the
+	// latency caps φ).
+	Servers []int
+	// Demands is the portal demand vector L for the conservation equality.
+	Demands []float64
+	// RefPower is the per-IDC power reference Ṙ_j in watts (after the
+	// §IV.D budget clamp). The internal energy-state reference ramps at
+	// this rate from the current state.
+	RefPower []float64
+	// RefPowerTraj optionally supplies a full reference trajectory — the
+	// paper's Υ(k) of eq. (41) — with one per-IDC power vector for each
+	// prediction step s = 1…β1 (built from multi-step workload forecasts).
+	// When shorter than β1 the last entry is held; when nil RefPower is
+	// used for every step.
+	RefPowerTraj [][]float64
+	// RefCostRate is the target Ċ̄ (Σ_j Pr_j·P_ref_j); used only when
+	// CostWeight > 0. Zero means "derive from RefPower and prices".
+	RefCostRate float64
+}
+
+// StepOutput is the controller's move.
+type StepOutput struct {
+	// DeltaU is the first move ΔU(k|k).
+	DeltaU []float64
+	// U is the new allocation U(k) = U(k−1) + ΔU.
+	U []float64
+	// PredictedStates holds X(k+s|k) for s = 1…β1 under the planned moves.
+	PredictedStates [][]float64
+	// QPIterations reports active-set iterations (diagnostics).
+	QPIterations int
+}
+
+// Step solves the condensed MPC problem and returns the first move.
+func (m *MPC) Step(in StepInput) (*StepOutput, error) {
+	if err := m.validate(in); err != nil {
+		return nil, err
+	}
+	model := in.Model
+	top := model.Topology()
+	ns := model.StateDim()
+	nu := model.InputDim()
+	b1, b2 := m.cfg.PredHorizon, m.cfg.CtrlHorizon
+
+	// Powers of Φ: phiPow[s] = Φ^s, s = 0…β1.
+	phiPow := make([]*mat.Dense, b1+1)
+	phiPow[0] = mat.Identity(ns)
+	for s := 1; s <= b1; s++ {
+		p, err := mat.Mul(phiPow[s-1], model.Phi)
+		if err != nil {
+			return nil, err
+		}
+		phiPow[s] = p
+	}
+	// phiG[t] = Φ^t·G and phiGamSum[s] = Σ_{t=0}^{s−1} Φ^t (for G·U and Γ·V).
+	phiG := make([]*mat.Dense, b1)
+	for t := 0; t < b1; t++ {
+		g, err := mat.Mul(phiPow[t], model.G)
+		if err != nil {
+			return nil, err
+		}
+		phiG[t] = g
+	}
+	// cumG[s] = Σ_{t=0}^{s} Φ^t·G  (s = 0…β1−1).
+	cumG := make([]*mat.Dense, b1)
+	cumG[0] = phiG[0]
+	for s := 1; s < b1; s++ {
+		c, err := mat.Add(cumG[s-1], phiG[s])
+		if err != nil {
+			return nil, err
+		}
+		cumG[s] = c
+	}
+	// cumPhi[s] = Σ_{t=0}^{s} Φ^t (s = 0…β1−1) for the disturbance term.
+	cumPhi := make([]*mat.Dense, b1)
+	cumPhi[0] = phiPow[0]
+	for s := 1; s < b1; s++ {
+		c, err := mat.Add(cumPhi[s-1], phiPow[s])
+		if err != nil {
+			return nil, err
+		}
+		cumPhi[s] = c
+	}
+
+	// Condensed prediction over z = (ΔU_0 … ΔU_{β2−1}):
+	//   X(k+s) = Φ^s X + Ξ_s U(k−1) + Ω_s + Θ_{s,r} z
+	// with Ξ_s = cumG[s−1], Ω_s = cumPhi[s−1]·Γ·V and
+	// Θ_{s,r} = Σ_{t=r}^{s−1} Φ^{s−1−t} G = cumG[s−1−r] for r < min(s, β2).
+	theta := mat.Zeros(ns*b1, nu*b2)
+	for s := 1; s <= b1; s++ {
+		for r := 0; r < b2 && r < s; r++ {
+			theta.SetBlock((s-1)*ns, r*nu, cumG[s-1-r])
+		}
+	}
+
+	gamV, err := mat.MulVec(model.Gamma, model.DisturbanceVec(in.Servers))
+	if err != nil {
+		return nil, err
+	}
+
+	// Free response and reference → stacked residual d = ref − free(X, U, V).
+	ts := model.Ts()
+	prices := model.Prices()
+	refCostRate := in.RefCostRate
+	if refCostRate == 0 && m.cfg.CostWeight > 0 {
+		for j := range prices {
+			refCostRate += prices[j] * in.RefPower[j]
+		}
+	}
+	// refAt returns the power reference for prediction step s (1-based):
+	// the trajectory entry when supplied, else the constant RefPower.
+	refAt := func(s int) []float64 {
+		if len(in.RefPowerTraj) == 0 {
+			return in.RefPower
+		}
+		if s-1 < len(in.RefPowerTraj) {
+			return in.RefPowerTraj[s-1]
+		}
+		return in.RefPowerTraj[len(in.RefPowerTraj)-1]
+	}
+	d := make([]float64, ns*b1)
+	// Energy references integrate the per-step power references.
+	refEnergy := make([]float64, top.N())
+	copy(refEnergy, in.State[1:])
+	refCost := in.State[0]
+	for s := 1; s <= b1; s++ {
+		free, err := mat.MulVec(phiPow[s], in.State)
+		if err != nil {
+			return nil, err
+		}
+		xiU, err := mat.MulVec(cumG[s-1], in.PrevU)
+		if err != nil {
+			return nil, err
+		}
+		omega, err := mat.MulVec(cumPhi[s-1], gamV)
+		if err != nil {
+			return nil, err
+		}
+		stepRef := refAt(s)
+		if m.cfg.CostWeight > 0 && in.RefCostRate == 0 && len(in.RefPowerTraj) > 0 {
+			refCostRate = 0
+			for j := range prices {
+				refCostRate += prices[j] * stepRef[j]
+			}
+		}
+		refCost += refCostRate * ts
+		d[(s-1)*ns] = refCost - free[0] - xiU[0] - omega[0]
+		for j := 0; j < top.N(); j++ {
+			refEnergy[j] += stepRef[j] * ts
+			row := (s-1)*ns + 1 + j
+			d[row] = refEnergy[j] - free[1+j] - xiU[1+j] - omega[1+j]
+		}
+	}
+
+	// Row weights: CostWeight on C̄ rows, PowerWeight on E rows.
+	wq := make([]float64, ns*b1)
+	for s := 0; s < b1; s++ {
+		wq[s*ns] = m.cfg.CostWeight
+		for j := 0; j < top.N(); j++ {
+			wq[s*ns+1+j] = m.cfg.PowerWeight
+		}
+	}
+	// SmoothWeight is normalized against the horizon's tracking pressure.
+	// For a power error e held over the prediction horizon, the tracking
+	// cost accumulates like Σ_{s=1}^{β1} (s·Ts·e)², so the R penalty on
+	// ΔU_{ij} is SmoothWeight·(b_j·Ts)²·Σs² with b_j the model's effective
+	// power gain. A first-order analysis then gives "fraction of the
+	// remaining reference gap closed per step ≈ 1/(1+SmoothWeight)",
+	// independent of request-rate, wattage and horizon scales.
+	//
+	// A ridge floor relative to the tracking Hessian's diagonal keeps the
+	// condensed Hessian positive definite even with SmoothWeight 0 (Θ has
+	// ns·β1 rows against nu·β2 columns, so the tracking term alone is
+	// rank-deficient); 1e-7 relative shifts the solution negligibly while
+	// keeping the KKT systems well conditioned.
+	var maxDiag float64
+	for col := 0; col < nu*b2; col++ {
+		var diag float64
+		for row := 0; row < ns*b1; row++ {
+			v := theta.At(row, col)
+			diag += wq[row] * v * v
+		}
+		if diag > maxDiag {
+			maxDiag = diag
+		}
+	}
+	ridgeFloor := 1e-7 * maxDiag
+	var sumS2 float64
+	for s := 1; s <= b1; s++ {
+		sumS2 += float64(s) * float64(s)
+	}
+	wr := make([]float64, nu*b2)
+	for r := 0; r < b2; r++ {
+		for j := 0; j < top.N(); j++ {
+			scale := model.B.At(1+j, top.Index(0, j)) * ts
+			w := m.cfg.SmoothWeight*scale*scale*sumS2*m.cfg.PowerWeight + ridgeFloor
+			for i := 0; i < top.C(); i++ {
+				wr[r*nu+top.Index(i, j)] = w
+			}
+		}
+	}
+
+	aeq, beq, ain, bin, err := m.constraints(in)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := qp.SolveLS(&qp.LSProblem{
+		M: theta, D: d, Wq: wq, Wr: wr,
+		Aeq: aeq, Beq: beq,
+		Ain: ain, Bin: bin,
+		X0: m.warmStart(nu, b2, aeq, beq, ain, bin),
+	})
+	if err != nil {
+		if errors.Is(err, qp.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, fmt.Errorf("ctrl: qp: %w", err)
+	}
+
+	m.prevZ = append(m.prevZ[:0], res.X...)
+	deltaU := make([]float64, nu)
+	copy(deltaU, res.X[:nu])
+	u := mat.AddVec(in.PrevU, deltaU)
+	clampNonnegative(u, 1e-7*(1+mat.NormInfVec(u)))
+
+	// Predicted trajectory under the planned z.
+	thz, err := mat.MulVec(theta, res.X)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([][]float64, b1)
+	for s := 1; s <= b1; s++ {
+		free, err := mat.MulVec(phiPow[s], in.State)
+		if err != nil {
+			return nil, err
+		}
+		xiU, err := mat.MulVec(cumG[s-1], in.PrevU)
+		if err != nil {
+			return nil, err
+		}
+		omega, err := mat.MulVec(cumPhi[s-1], gamV)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, ns)
+		for i := 0; i < ns; i++ {
+			row[i] = free[i] + xiU[i] + omega[i] + thz[(s-1)*ns+i]
+		}
+		preds[s-1] = row
+	}
+	return &StepOutput{
+		DeltaU:          deltaU,
+		U:               u,
+		PredictedStates: preds,
+		QPIterations:    res.Iterations,
+	}, nil
+}
+
+// warmStart returns the best available feasible starting point: the
+// previous plan shifted one step (exact when demands and caps are
+// unchanged), else the zero move. qp.Solve re-checks feasibility and runs
+// its LP phase only if the returned point is infeasible too.
+func (m *MPC) warmStart(nu, b2 int, aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64) []float64 {
+	zero := make([]float64, nu*b2)
+	if len(m.prevZ) != nu*b2 {
+		return zero
+	}
+	shifted := make([]float64, nu*b2)
+	copy(shifted, m.prevZ[nu:])
+	if pointFeasible(shifted, aeq, beq, ain, bin) {
+		return shifted
+	}
+	return zero
+}
+
+// pointFeasible checks Aeq·z = beq and Ain·z ≤ bin within tolerance.
+func pointFeasible(z []float64, aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64) bool {
+	const tol = 1e-7
+	if aeq != nil {
+		v, err := mat.MulVec(aeq, z)
+		if err != nil {
+			return false
+		}
+		for i := range beq {
+			scale := 1 + mat.NormInfVec(beq)
+			if diff := v[i] - beq[i]; diff > tol*scale || diff < -tol*scale {
+				return false
+			}
+		}
+	}
+	if ain != nil {
+		v, err := mat.MulVec(ain, z)
+		if err != nil {
+			return false
+		}
+		for i := range bin {
+			if v[i] > bin[i]+tol*(1+mat.NormInfVec(bin)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *MPC) validate(in StepInput) error {
+	if in.Model == nil {
+		return fmt.Errorf("nil model: %w", ErrBadConfig)
+	}
+	top := in.Model.Topology()
+	if len(in.State) != in.Model.StateDim() {
+		return fmt.Errorf("state length %d, want %d: %w", len(in.State), in.Model.StateDim(), ErrBadConfig)
+	}
+	if len(in.PrevU) != in.Model.InputDim() {
+		return fmt.Errorf("prevU length %d, want %d: %w", len(in.PrevU), in.Model.InputDim(), ErrBadConfig)
+	}
+	if len(in.Servers) != top.N() {
+		return fmt.Errorf("%d server counts for %d IDCs: %w", len(in.Servers), top.N(), ErrBadConfig)
+	}
+	if len(in.Demands) != top.C() {
+		return fmt.Errorf("%d demands for %d portals: %w", len(in.Demands), top.C(), ErrBadConfig)
+	}
+	if len(in.RefPower) != top.N() {
+		return fmt.Errorf("%d power refs for %d IDCs: %w", len(in.RefPower), top.N(), ErrBadConfig)
+	}
+	return nil
+}
+
+// constraints builds (43)–(45) over z: per-step conservation equalities,
+// latency caps, and nonnegativity of the cumulated allocation
+// U(k+s) = U(k−1) + Σ_{r≤s} ΔU_r.
+func (m *MPC) constraints(in StepInput) (aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64, err error) {
+	top := in.Model.Topology()
+	nu := in.Model.InputDim()
+	b2 := m.cfg.CtrlHorizon
+
+	consH, consRHS, err := top.Conservation(in.Demands)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	psi, phi, err := top.LatencyCaps(in.Model.CapServers(in.Servers))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	c := top.C()
+	n := top.N()
+
+	hPrev, err := mat.MulVec(consH, in.PrevU)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	psiPrev, err := mat.MulVec(psi, in.PrevU)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	aeq = mat.Zeros(c*b2, nu*b2)
+	beq = make([]float64, c*b2)
+	ain = mat.Zeros((n+nu)*b2, nu*b2)
+	bin = make([]float64, (n+nu)*b2)
+	for s := 0; s < b2; s++ {
+		// Prefix structure: constraint at step s touches ΔU_0 … ΔU_s.
+		for r := 0; r <= s; r++ {
+			aeq.SetBlock(s*c, r*nu, consH)
+			ain.SetBlock(s*n, r*nu, psi)
+			for i := 0; i < nu; i++ {
+				ain.Set(b2*n+s*nu+i, r*nu+i, -1)
+			}
+		}
+		for i := 0; i < c; i++ {
+			beq[s*c+i] = consRHS[i] - hPrev[i]
+		}
+		for j := 0; j < n; j++ {
+			bin[s*n+j] = phi[j] - psiPrev[j]
+		}
+		for i := 0; i < nu; i++ {
+			bin[b2*n+s*nu+i] = in.PrevU[i]
+		}
+	}
+	return aeq, beq, ain, bin, nil
+}
+
+// clampNonnegative zeroes small negative entries left by QP round-off so a
+// returned allocation is always physically valid. Entries below -tol are
+// left alone: they indicate a real solver failure the caller should see.
+func clampNonnegative(xs []float64, tol float64) {
+	for i, v := range xs {
+		if v < 0 && v > -tol {
+			xs[i] = 0
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package ctrl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/idc"
+	"repro/internal/workload"
+)
+
+func contractionSetup(t *testing.T, smooth float64) (*Model, *MPC, []float64, []int, []float64) {
+	t.Helper()
+	top := idc.PaperTopology()
+	model, err := NewFoldedModel(top, testPrices7H, 30)
+	if err != nil {
+		t.Fatalf("NewFoldedModel: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: smooth})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	// Start at the 6H optimum, track the 7H optimum's powers.
+	start, err := alloc.Optimize(top, testPrices6H, workload.TableI())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	target, err := alloc.Optimize(top, testPrices7H, workload.TableI())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	return model, mpc, start.Allocation.Vector(), servers, target.PowerWatts
+}
+
+func TestEstimateContractionValidation(t *testing.T) {
+	model, mpc, u0, servers, ref := contractionSetup(t, 4)
+	if _, err := EstimateContraction(nil, mpc, u0, servers, workload.TableI(), ref, 5); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil model: %v", err)
+	}
+	if _, err := EstimateContraction(model, nil, u0, servers, workload.TableI(), ref, 5); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil mpc: %v", err)
+	}
+	if _, err := EstimateContraction(model, mpc, u0, servers, workload.TableI(), ref, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero steps: %v", err)
+	}
+}
+
+// TestClosedLoopContractive is the empirical §IV.E check: the constrained
+// MPC loop contracts toward the reference (ρ < 1) and converges.
+func TestClosedLoopContractive(t *testing.T) {
+	model, mpc, u0, servers, ref := contractionSetup(t, 4)
+	rep, err := EstimateContraction(model, mpc, u0, servers, workload.TableI(), ref, 60)
+	if err != nil {
+		t.Fatalf("EstimateContraction: %v", err)
+	}
+	if rep.Rho >= 1 {
+		t.Fatalf("ρ = %g, want < 1 (unstable loop)", rep.Rho)
+	}
+	if !rep.Converged {
+		t.Fatalf("loop did not converge: errors %v … %v", rep.Errors[0], rep.Errors[len(rep.Errors)-1])
+	}
+	// Errors decay monotonically (allowing solver-noise wiggle near zero).
+	for k := 1; k < len(rep.Errors); k++ {
+		if rep.Errors[k] > rep.Errors[k-1]*1.05+1 {
+			t.Fatalf("error grew at step %d: %g → %g", k, rep.Errors[k-1], rep.Errors[k])
+		}
+	}
+}
+
+// TestContractionSlowsWithSmoothing: larger R moves ρ toward 1 (slower but
+// still stable) — the quantitative version of the Q/R trade-off.
+func TestContractionSlowsWithSmoothing(t *testing.T) {
+	rho := func(smooth float64) float64 {
+		model, mpc, u0, servers, ref := contractionSetup(t, smooth)
+		rep, err := EstimateContraction(model, mpc, u0, servers, workload.TableI(), ref, 40)
+		if err != nil {
+			t.Fatalf("EstimateContraction(%g): %v", smooth, err)
+		}
+		return rep.Rho
+	}
+	fast := rho(0.5)
+	slow := rho(16)
+	if !(fast < slow && slow < 1) {
+		t.Fatalf("ρ(R=0.5)=%g, ρ(R=16)=%g; want fast < slow < 1", fast, slow)
+	}
+}
+
+// TestContractionMatchesFirstOrderPrediction: the documented semantics say
+// the loop closes ≈ 1/(1+R) of the gap per step, i.e. ρ ≈ R/(1+R).
+func TestContractionMatchesFirstOrderPrediction(t *testing.T) {
+	model, mpc, u0, servers, ref := contractionSetup(t, 4)
+	rep, err := EstimateContraction(model, mpc, u0, servers, workload.TableI(), ref, 40)
+	if err != nil {
+		t.Fatalf("EstimateContraction: %v", err)
+	}
+	want := 4.0 / 5.0
+	if rep.Rho < want-0.15 || rep.Rho > want+0.15 {
+		t.Fatalf("ρ = %g, first-order prediction %g ± 0.15", rep.Rho, want)
+	}
+}
+
+func TestContractionStartedConverged(t *testing.T) {
+	top := idc.PaperTopology()
+	model, err := NewFoldedModel(top, testPrices7H, 30)
+	if err != nil {
+		t.Fatalf("NewFoldedModel: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 4})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	target, err := alloc.Optimize(top, testPrices7H, workload.TableI())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	servers := make([]int, top.N())
+	for j := range servers {
+		servers[j] = top.IDC(j).TotalServers
+	}
+	// Reference equals the starting powers under the folded accounting.
+	u0 := target.Allocation.Vector()
+	rates, err := model.PowerRates(u0, effectiveServers(model, u0, servers))
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	rep, err := EstimateContraction(model, mpc, u0, servers, workload.TableI(), rates, 10)
+	if err != nil {
+		t.Fatalf("EstimateContraction: %v", err)
+	}
+	if !rep.Converged {
+		t.Fatalf("started at reference but not converged: %v", rep.Errors)
+	}
+}

@@ -1,0 +1,597 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) from this repository's implementation, plus the ablations
+// called out in DESIGN.md. Each experiment is addressable by the paper's
+// label (table1 … table3, fig2 … fig7, ablation-*) and produces structured
+// tables and series that cmd/idcexp renders and bench_test.go measures.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ctrl"
+	"repro/internal/forecast"
+	"repro/internal/idc"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/price"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ErrUnknown is returned for unrecognized experiment IDs.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// Table is a rendered table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return sb.String()
+}
+
+// NamedSeries is one curve of a figure.
+type NamedSeries struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a reproduced plot: a shared X axis with named curves.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []NamedSeries
+}
+
+// CSV renders the figure data with one column per series.
+func (f *Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		sb.WriteString("," + s.Name)
+	}
+	sb.WriteString("\n")
+	for i, x := range f.X {
+		sb.WriteString(strconv.FormatFloat(x, 'g', 8, 64))
+		for _, s := range f.Series {
+			v := ""
+			if i < len(s.Y) {
+				v = strconv.FormatFloat(s.Y[i], 'g', 8, 64)
+			}
+			sb.WriteString("," + v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ASCII renders a crude terminal plot of the figure (width×height chars).
+func (f *Figure) ASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(f.X) == 0 || len(f.Series) == 0 {
+		return "(empty figure)\n"
+	}
+	lo, hi := f.Series[0].Y[0], f.Series[0].Y[0]
+	for _, s := range f.Series {
+		for _, v := range s.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i, v := range s.Y {
+			col := 0
+			if len(s.Y) > 1 {
+				col = i * (width - 1) / (len(s.Y) - 1)
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "%.4g %s\n", hi, f.YLabel)
+	for _, row := range grid {
+		sb.WriteString("|" + string(row) + "\n")
+	}
+	fmt.Fprintf(&sb, "%.4g +%s\n", lo, strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "      %s: %.4g .. %.4g", f.XLabel, f.X[0], f.X[len(f.X)-1])
+	for si, s := range f.Series {
+		fmt.Fprintf(&sb, "   [%c] %s", marks[si%len(marks)], s.Name)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Output is everything one experiment produces.
+type Output struct {
+	Tables  []*Table
+	Figures []*Figure
+	Notes   []string
+}
+
+// Experiment is one reproducible unit keyed by the paper's label.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Output, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Front-end portal workloads", Run: runTable1},
+		{ID: "table2", Title: "IDC configuration", Run: runTable2},
+		{ID: "table3", Title: "Electricity prices at 6H/7H", Run: runTable3},
+		{ID: "fig2", Title: "Real-time electricity prices (24 h)", Run: runFig2},
+		{ID: "fig3", Title: "Original vs predicted workload", Run: runFig3},
+		{ID: "fig4", Title: "Power demand smoothing — power", Run: runFig4},
+		{ID: "fig5", Title: "Power demand smoothing — ON servers", Run: runFig5},
+		{ID: "fig6", Title: "Peak shaving — power vs budget", Run: runFig6},
+		{ID: "fig7", Title: "Peak shaving — ON servers", Run: runFig7},
+		{ID: "vicious-cycle", Title: "Demand→price feedback damping (§I)", Run: runViciousCycle},
+		{ID: "billing", Title: "All-in bill under a peak-charging tariff", Run: runBilling},
+		{ID: "daily", Title: "Full synthetic day, control vs optimal", Run: runDaily},
+		{ID: "ablation-smoothing", Title: "Q/R trade-off sweep", Run: runAblationSmoothing},
+		{ID: "ablation-horizon", Title: "MPC horizon sweep", Run: runAblationHorizon},
+	}
+}
+
+// ByID looks an experiment up by label.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("%q (known: %s): %w", id, strings.Join(ids, ", "), ErrUnknown)
+}
+
+func runTable1() (*Output, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Workload for five front-end portal servers (req/s)",
+		Columns: []string{"portal", "L_i"},
+	}
+	for i, l := range workload.TableI() {
+		t.Rows = append(t.Rows, []string{strconv.Itoa(i + 1), fmtF(l)})
+	}
+	return &Output{Tables: []*Table{t}}, nil
+}
+
+func runTable2() (*Output, error) {
+	top := idc.PaperTopology()
+	t := &Table{
+		ID:      "table2",
+		Title:   "Configuration of IDCs in three locations",
+		Columns: []string{"idc", "region", "µ (req/s)", "M", "D (s)", "idle W", "peak W"},
+	}
+	for j := 0; j < top.N(); j++ {
+		d := top.IDC(j)
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(j + 1), string(d.Region),
+			fmtF(d.ServiceRate), strconv.Itoa(d.TotalServers), fmtF(d.DelayBound),
+			fmtF(d.Power.B0), fmtF(d.Power.B0 + d.Power.B1*d.ServiceRate),
+		})
+	}
+	return &Output{
+		Tables: []*Table{t},
+		Notes: []string{
+			"M₁ = 20000 (not Table II's 30000): the paper's published power figures imply 20000; see EXPERIMENTS.md.",
+		},
+	}, nil
+}
+
+func runTable3() (*Output, error) {
+	anchors := price.TableIII()
+	t := &Table{
+		ID:      "table3",
+		Title:   "Electricity price in three locations ($/MWh)",
+		Columns: []string{"time", "michigan", "minnesota", "wisconsin"},
+	}
+	for h, row := range anchors {
+		cells := []string{fmt.Sprintf("%dH", h+6)}
+		for _, v := range row {
+			cells = append(cells, fmtF(v))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return &Output{Tables: []*Table{t}}, nil
+}
+
+func runFig2() (*Output, error) {
+	x := make([]float64, 24)
+	for h := range x {
+		x[h] = float64(h)
+	}
+	fig := &Figure{
+		ID: "fig2", Title: "Real-time electricity prices",
+		XLabel: "hour", YLabel: "$/MWh", X: x,
+	}
+	for _, r := range price.Regions() {
+		tr, err := price.Embedded(r)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, NamedSeries{Name: string(r), Y: tr.Hourly()})
+	}
+	vol := &Table{
+		ID: "fig2-volatility", Title: "Hourly price volatility (std of diffs)",
+		Columns: []string{"region", "volatility ($/MWh)"},
+	}
+	for _, s := range fig.Series {
+		vol.Rows = append(vol.Rows, []string{s.Name, fmtF(price.Volatility(s.Y))})
+	}
+	return &Output{Figures: []*Figure{fig}, Tables: []*Table{vol}}, nil
+}
+
+func runFig3() (*Output, error) {
+	gen, err := workload.NewDiurnal(workload.DiurnalConfig{
+		Base: 500, PeakBoost: 2.2, NoiseFrac: 0.06, Seed: 1995,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pred, err := forecast.NewPredictor(forecast.PredictorConfig{Order: 6, Lambda: 0.995})
+	if err != nil {
+		return nil, err
+	}
+	steps := 288 // one day at 5-minute sampling, like the EPA-trace day
+	x := make([]float64, steps)
+	actual := make([]float64, steps)
+	predicted := make([]float64, steps)
+	for k := 0; k < steps; k++ {
+		x[k] = 24 * float64(k) / float64(steps)
+		y := gen.Rate(k)
+		actual[k] = y
+		if pred.Ready() {
+			f, err := pred.Forecast(1)
+			if err != nil {
+				return nil, err
+			}
+			predicted[k] = f[0]
+		} else {
+			predicted[k] = y
+		}
+		pred.Observe(y)
+	}
+	mape, err := metrics.MAPE(actual[pred.Order():], predicted[pred.Order():])
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "fig3", Title: "Original vs AR/RLS-predicted workload",
+		XLabel: "hour", YLabel: "req/s", X: x,
+		Series: []NamedSeries{
+			{Name: "original", Y: actual},
+			{Name: "predicted", Y: predicted},
+		},
+	}
+	return &Output{
+		Figures: []*Figure{fig},
+		Notes:   []string{fmt.Sprintf("one-step MAPE = %.2f%% (paper: visually tight fit on the 1995 EPA trace)", 100*mape)},
+	}, nil
+}
+
+// The smoothing and shaving scenarios are shared by two figures each, and
+// the runs are the expensive part — compute them once.
+var (
+	smoothOnce sync.Once
+	smoothRes  *sim.Result
+	smoothErr  error
+
+	shaveOnce sync.Once
+	shaveRes  *sim.Result
+	shaveErr  error
+)
+
+// PaperBudgets returns the §V.C budgets (watts): 5.13 / 10.26 / 4.275 MW.
+func PaperBudgets() []float64 { return []float64{5.13e6, 10.26e6, 4.275e6} }
+
+// flipScenario is the §V.B experiment: Table I demand, embedded prices,
+// initialized at the 6H operating point, crossing into 7H. The figures show
+// the 10 minutes after the flip.
+func flipScenario(budgets []float64) sim.Scenario {
+	return sim.Scenario{
+		Name:      "price-flip",
+		Topology:  idc.PaperTopology(),
+		Prices:    price.NewEmbeddedModel(),
+		Steps:     140, // 120 warmup at hour 6 + 20 steps (10 min) at hour 7
+		Ts:        30,
+		StartHour: 6,
+		SlowEvery: 4,
+		MPC:       ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+		Budgets:   budgets,
+	}
+}
+
+const flipStep = 120
+
+func smoothingRun() (*sim.Result, error) {
+	smoothOnce.Do(func() {
+		smoothRes, smoothErr = sim.Run(flipScenario(nil))
+	})
+	return smoothRes, smoothErr
+}
+
+func shavingRun() (*sim.Result, error) {
+	shaveOnce.Do(func() {
+		shaveRes, shaveErr = sim.Run(flipScenario(PaperBudgets()))
+	})
+	return shaveRes, shaveErr
+}
+
+// figuresFromRun renders one figure per IDC from a scenario run, selecting
+// power (MW) or server counts, over the 10 minutes after the flip.
+func figuresFromRun(res *sim.Result, id, title string, servers bool, budgets []float64) []*Figure {
+	top := res.Scenario.Topology
+	ctl := res.Control.Slice(flipStep, res.Control.Steps())
+	opt := res.Optimal.Slice(flipStep, res.Optimal.Steps())
+	x := make([]float64, ctl.Steps())
+	for i := range x {
+		x[i] = ctl.TimeMin[i] - ctl.TimeMin[0]
+	}
+	figs := make([]*Figure, 0, top.N())
+	for j := 0; j < top.N(); j++ {
+		fig := &Figure{
+			ID:     fmt.Sprintf("%s%c", id, 'a'+j),
+			Title:  fmt.Sprintf("%s — %s", title, top.IDC(j).Name),
+			XLabel: "min", X: x,
+		}
+		if servers {
+			fig.YLabel = "servers"
+			fig.Series = []NamedSeries{
+				{Name: "control", Y: intsToFloats(ctl.Servers[j])},
+				{Name: "optimal", Y: intsToFloats(opt.Servers[j])},
+			}
+		} else {
+			fig.YLabel = "MW"
+			fig.Series = []NamedSeries{
+				{Name: "control", Y: scaleMW(ctl.PowerWatts[j])},
+				{Name: "optimal", Y: scaleMW(opt.PowerWatts[j])},
+			}
+			if budgets != nil && budgets[j] > 0 {
+				b := make([]float64, len(x))
+				for i := range b {
+					b[i] = budgets[j] / 1e6
+				}
+				fig.Series = append(fig.Series, NamedSeries{Name: "budget", Y: b})
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// summaryTable compares per-IDC control vs baseline statistics.
+func summaryTable(res *sim.Result, id string, budgets []float64) *Table {
+	top := res.Scenario.Topology
+	ctl := res.Control.Slice(flipStep, res.Control.Steps())
+	t := &Table{
+		ID:    id,
+		Title: "Control vs optimal statistics over the 10 min after the price flip",
+		Columns: []string{
+			"idc", "ctl peak MW", "opt peak MW",
+			"ctl maxΔ MW", "opt maxΔ MW", "ctl viol steps", "opt viol steps",
+		},
+	}
+	dt := res.Scenario.Ts
+	for j := 0; j < top.N(); j++ {
+		cs := metrics.Summarize(scaleMW(ctl.PowerWatts[j]))
+		// Include the flip itself for the baseline's jump statistic.
+		optFull := scaleMW(res.Optimal.PowerWatts[j][flipStep-1:])
+		os := metrics.Summarize(optFull)
+		var budget float64
+		if budgets != nil {
+			budget = budgets[j] / 1e6
+		}
+		cv := metrics.Violations(scaleMW(ctl.PowerWatts[j]), budget, dt)
+		ov := metrics.Violations(optFull, budget, dt)
+		t.Rows = append(t.Rows, []string{
+			top.IDC(j).Name,
+			fmtF(cs.Peak), fmtF(os.Peak),
+			fmtF(cs.MaxStep), fmtF(os.MaxStep),
+			strconv.Itoa(cv.Steps), strconv.Itoa(ov.Steps),
+		})
+	}
+	return t
+}
+
+func runFig4() (*Output, error) {
+	res, err := smoothingRun()
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Figures: figuresFromRun(res, "fig4", "Power demand smoothing", false, nil),
+		Tables:  []*Table{summaryTable(res, "fig4-summary", nil)},
+	}, nil
+}
+
+func runFig5() (*Output, error) {
+	res, err := smoothingRun()
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Figures: figuresFromRun(res, "fig5", "ON servers under smoothing", true, nil),
+	}, nil
+}
+
+func runFig6() (*Output, error) {
+	res, err := shavingRun()
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Figures: figuresFromRun(res, "fig6", "Peak shaving", false, PaperBudgets()),
+		Tables:  []*Table{summaryTable(res, "fig6-summary", PaperBudgets())},
+	}, nil
+}
+
+func runFig7() (*Output, error) {
+	res, err := shavingRun()
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Figures: figuresFromRun(res, "fig7", "ON servers under peak shaving", true, nil),
+	}, nil
+}
+
+func runAblationSmoothing() (*Output, error) {
+	t := &Table{
+		ID:    "ablation-smoothing",
+		Title: "Q/R trade-off: smoothing weight vs volatility and cost",
+		Columns: []string{
+			"smooth weight", "total maxΔ MW", "total volatility MW", "cost $ (10 min)",
+		},
+	}
+	for _, w := range []float64{0, 1, 4, 16, 64} {
+		sc := flipScenario(nil)
+		sc.MPC.SmoothWeight = w
+		sc.SkipBaseline = true
+		res, err := sim.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("smooth weight %g: %w", w, err)
+		}
+		// Include the step before the flip so an instantaneous jump at the
+		// price change is counted in the volatility statistics.
+		ctl := res.Control.Slice(flipStep-1, res.Control.Steps())
+		total := totalPower(ctl.PowerWatts)
+		cost := ctl.CumulativeCost[len(ctl.CumulativeCost)-1] - ctl.CumulativeCost[0]
+		t.Rows = append(t.Rows, []string{
+			fmtF(w),
+			fmtF(metrics.MaxStep(scaleMW(total))),
+			fmtF(metrics.Volatility(scaleMW(total))),
+			fmtF(cost),
+		})
+	}
+	return &Output{
+		Tables: []*Table{t},
+		Notes:  []string{"Higher R smooths total demand at the cost of slower convergence to the cheap allocation."},
+	}, nil
+}
+
+func runAblationHorizon() (*Output, error) {
+	t := &Table{
+		ID:      "ablation-horizon",
+		Title:   "Prediction/control horizon sweep",
+		Columns: []string{"β1", "β2", "total maxΔ MW", "mean QP iters"},
+	}
+	for _, h := range [][2]int{{2, 1}, {4, 2}, {8, 3}, {12, 4}} {
+		sc := flipScenario(nil)
+		sc.MPC.PredHorizon = h[0]
+		sc.MPC.CtrlHorizon = h[1]
+		sc.SkipBaseline = true
+		sc.Steps = 136
+		res, err := sim.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("horizon %v: %w", h, err)
+		}
+		ctl := res.Control.Slice(flipStep-1, res.Control.Steps())
+		total := totalPower(ctl.PowerWatts)
+		var iterSum int
+		for _, it := range ctl.QPIterations {
+			iterSum += it
+		}
+		meanIters := float64(iterSum) / float64(len(ctl.QPIterations))
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(h[0]), strconv.Itoa(h[1]),
+			fmtF(metrics.MaxStep(scaleMW(total))),
+			fmtF(meanIters),
+		})
+	}
+	return &Output{Tables: []*Table{t}}, nil
+}
+
+func totalPower(perIDC [][]float64) []float64 {
+	if len(perIDC) == 0 {
+		return nil
+	}
+	out := make([]float64, len(perIDC[0]))
+	for _, series := range perIDC {
+		for i, v := range series {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func scaleMW(watts []float64) []float64 {
+	out := make([]float64, len(watts))
+	for i, w := range watts {
+		out[i] = power.WattsToMW(w)
+	}
+	return out
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func fmtF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 7, 64)
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatalf("ByID: %v", err)
+	}
+	if e.ID != "fig4" {
+		t.Fatalf("ID = %s", e.ID)
+	}
+	if _, err := ByID("fig99"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown ID: %v", err)
+	}
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Fatalf("%s has nil Run", e.ID)
+		}
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		out, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out.Tables) == 0 || len(out.Tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		md := out.Tables[0].Markdown()
+		if !strings.Contains(md, "|") {
+			t.Fatalf("%s markdown malformed:\n%s", id, md)
+		}
+		csv := out.Tables[0].CSV()
+		if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(out.Tables[0].Rows)+1 {
+			t.Fatalf("%s CSV row count wrong", id)
+		}
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	out, err := runTable3()
+	if err != nil {
+		t.Fatalf("runTable3: %v", err)
+	}
+	rows := out.Tables[0].Rows
+	if rows[0][1] != "43.26" || rows[1][3] != "77.97" {
+		t.Fatalf("table3 anchors wrong: %v", rows)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	out, err := runFig2()
+	if err != nil {
+		t.Fatalf("runFig2: %v", err)
+	}
+	fig := out.Figures[0]
+	if len(fig.X) != 24 || len(fig.Series) != 3 {
+		t.Fatalf("fig2 shape: %d x, %d series", len(fig.X), len(fig.Series))
+	}
+	csv := fig.CSV()
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 25 {
+		t.Fatal("fig2 CSV should have header + 24 rows")
+	}
+	ascii := fig.ASCII(60, 12)
+	if !strings.Contains(ascii, "fig2") || !strings.Contains(ascii, "wisconsin") {
+		t.Fatalf("fig2 ASCII missing labels:\n%s", ascii)
+	}
+}
+
+func TestFig3PredictionQuality(t *testing.T) {
+	out, err := runFig3()
+	if err != nil {
+		t.Fatalf("runFig3: %v", err)
+	}
+	fig := out.Figures[0]
+	if len(fig.Series) != 2 {
+		t.Fatalf("fig3 series = %d", len(fig.Series))
+	}
+	m, err := metrics.MAPE(fig.Series[0].Y[10:], fig.Series[1].Y[10:])
+	if err != nil {
+		t.Fatalf("MAPE: %v", err)
+	}
+	if m > 0.12 {
+		t.Fatalf("fig3 MAPE %.3f too large — prediction broken", m)
+	}
+}
+
+func TestFig4SmoothingShape(t *testing.T) {
+	out, err := runFig4()
+	if err != nil {
+		t.Fatalf("runFig4: %v", err)
+	}
+	if len(out.Figures) != 3 {
+		t.Fatalf("fig4 should have one panel per IDC, got %d", len(out.Figures))
+	}
+	for _, fig := range out.Figures {
+		if fig.Series[0].Name != "control" || fig.Series[1].Name != "optimal" {
+			t.Fatalf("%s series order: %v", fig.ID, fig.Series)
+		}
+		ctl := fig.Series[0].Y
+		opt := fig.Series[1].Y
+		// The optimal method is flat (it jumped at the flip, before the
+		// plotted window) while the control ramps toward it.
+		if metrics.MaxStep(opt) > 1e-6 {
+			t.Errorf("%s: baseline not flat after the flip (maxΔ %g)", fig.ID, metrics.MaxStep(opt))
+		}
+		// Convergence: the control method closes most of its initial gap to
+		// the baseline's post-flip level. (The two levels differ slightly by
+		// design — the baseline uses the paper's price-ordered allocation
+		// and peak-power accounting — so only the trend is comparable.)
+		target := opt[len(opt)-1]
+		startGap := math.Abs(ctl[0] - target)
+		endGap := math.Abs(ctl[len(ctl)-1] - target)
+		if startGap > 0.2*target && endGap > 0.4*startGap {
+			t.Errorf("%s: control gap to baseline only shrank %.4g → %.4g", fig.ID, startGap, endGap)
+		}
+	}
+}
+
+func TestFig5ServerShape(t *testing.T) {
+	out, err := runFig5()
+	if err != nil {
+		t.Fatalf("runFig5: %v", err)
+	}
+	for _, fig := range out.Figures {
+		ctl := fig.Series[0].Y
+		for _, v := range ctl {
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("%s: non-integer server count %g", fig.ID, v)
+			}
+		}
+	}
+}
+
+func TestFig6BudgetsHeld(t *testing.T) {
+	out, err := runFig6()
+	if err != nil {
+		t.Fatalf("runFig6: %v", err)
+	}
+	budgets := PaperBudgets()
+	for j, fig := range out.Figures {
+		ctl := fig.Series[0].Y
+		opt := fig.Series[1].Y
+		budgetMW := budgets[j] / 1e6
+		// After the transition (second half of the window) the control
+		// method must be at/below budget within a small quantum.
+		for _, v := range ctl[len(ctl)/2:] {
+			if v > budgetMW*1.02 {
+				t.Errorf("%s: control %.4g MW above budget %.4g", fig.ID, v, budgetMW)
+			}
+		}
+		// The baseline must violate at least one budget overall; checked
+		// per-IDC outside the loop via the summary table.
+		_ = opt
+	}
+	// Summary table shows baseline violations at the clamped IDCs.
+	var sum *Table
+	for _, tb := range out.Tables {
+		if tb.ID == "fig6-summary" {
+			sum = tb
+		}
+	}
+	if sum == nil {
+		t.Fatal("fig6 summary table missing")
+	}
+	var anyOptViol bool
+	for _, row := range sum.Rows {
+		if row[6] != "0" {
+			anyOptViol = true
+		}
+	}
+	if !anyOptViol {
+		t.Fatal("baseline violates no budget — scenario not binding")
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	out, err := runFig7()
+	if err != nil {
+		t.Fatalf("runFig7: %v", err)
+	}
+	if len(out.Figures) != 3 {
+		t.Fatalf("fig7 panels = %d", len(out.Figures))
+	}
+}
+
+func TestAblationSmoothingMonotone(t *testing.T) {
+	out, err := runAblationSmoothing()
+	if err != nil {
+		t.Fatalf("runAblationSmoothing: %v", err)
+	}
+	rows := out.Tables[0].Rows
+	if len(rows) < 3 {
+		t.Fatalf("too few sweep points: %d", len(rows))
+	}
+	// Volatility should not increase with the smoothing weight (weak check:
+	// last < first).
+	first := parseF(t, rows[0][2])
+	last := parseF(t, rows[len(rows)-1][2])
+	if !(last < first) {
+		t.Fatalf("volatility did not fall with smoothing: first %g, last %g", first, last)
+	}
+}
+
+func TestAblationHorizonRuns(t *testing.T) {
+	out, err := runAblationHorizon()
+	if err != nil {
+		t.Fatalf("runAblationHorizon: %v", err)
+	}
+	if len(out.Tables[0].Rows) != 4 {
+		t.Fatalf("horizon rows = %d", len(out.Tables[0].Rows))
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// fmtSscan avoids importing fmt solely for tests' parse helper.
+func fmtSscan(s string, v *float64) (int, error) {
+	f, err := strconvParse(s)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}
+
+func strconvParse(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+func TestViciousCycleDamping(t *testing.T) {
+	out, err := runViciousCycle()
+	if err != nil {
+		t.Fatalf("runViciousCycle: %v", err)
+	}
+	rows := out.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The §I claim: the greedy policy's self-induced price volatility
+	// exceeds the controller's in every region.
+	for _, row := range rows {
+		opt := parseF(t, row[1])
+		ctl := parseF(t, row[2])
+		if !(opt > ctl) {
+			t.Errorf("%s: optimal price volatility %g not above control %g", row[0], opt, ctl)
+		}
+	}
+	// The baseline exhibits a genuine oscillation: Wisconsin's price path
+	// is far from constant.
+	var fig *Figure
+	for _, f := range out.Figures {
+		if f.ID == "vicious-cycle-price" {
+			fig = f
+		}
+	}
+	if fig == nil {
+		t.Fatal("price-path figure missing")
+	}
+	optPath := fig.Series[0].Y
+	if metrics.Volatility(optPath) < 5 {
+		t.Fatalf("baseline price path too calm (vol %g) — no cycle induced", metrics.Volatility(optPath))
+	}
+}
+
+func TestBillingControlWinsAllIn(t *testing.T) {
+	out, err := runBilling()
+	if err != nil {
+		t.Fatalf("runBilling: %v", err)
+	}
+	rows := out.Tables[0].Rows
+	total := rows[len(rows)-1]
+	if total[0] != "TOTAL" {
+		t.Fatalf("last row is %v", total)
+	}
+	ctlEnergy := parseF(t, total[1])
+	optEnergy := parseF(t, total[2])
+	ctlPenalty := parseF(t, total[3])
+	optPenalty := parseF(t, total[4])
+	ctlDemand := parseF(t, total[5])
+	optDemand := parseF(t, total[6])
+	// The paper's §I claim, quantified: the baseline's energy is cheaper,
+	// but penalties and demand charges flip the all-in comparison.
+	if !(optEnergy < ctlEnergy) {
+		t.Errorf("baseline energy %g not below control %g", optEnergy, ctlEnergy)
+	}
+	if !(optPenalty > 100*ctlPenalty) {
+		t.Errorf("baseline penalty %g not ≫ control %g", optPenalty, ctlPenalty)
+	}
+	ctlAllIn := ctlEnergy + ctlPenalty + ctlDemand
+	optAllIn := optEnergy + optPenalty + optDemand
+	if !(ctlAllIn < optAllIn) {
+		t.Errorf("control all-in %g not below baseline %g", ctlAllIn, optAllIn)
+	}
+}
+
+func TestDailyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daily experiment skipped in -short mode")
+	}
+	out, err := runDaily()
+	if err != nil {
+		t.Fatalf("runDaily: %v", err)
+	}
+	rows := out.Tables[0].Rows
+	get := func(name string) (ctl, opt float64) {
+		t.Helper()
+		for _, row := range rows {
+			if row[0] == name {
+				return parseF(t, row[1]), parseF(t, row[2])
+			}
+		}
+		t.Fatalf("metric %q missing", name)
+		return 0, 0
+	}
+	ctlVol, optVol := get("total demand volatility MW/step")
+	if !(ctlVol < optVol) {
+		t.Errorf("control volatility %g not below optimal %g", ctlVol, optVol)
+	}
+	ctlPeak, optPeak := get("fleet peak MW")
+	if !(ctlPeak <= optPeak*1.02) {
+		t.Errorf("control peak %g above optimal %g", ctlPeak, optPeak)
+	}
+	ctlStep, optStep := get("max step MW")
+	if !(ctlStep < 0.6*optStep) {
+		t.Errorf("control max step %g not well below optimal %g", ctlStep, optStep)
+	}
+	if len(out.Figures) != 1 || len(out.Figures[0].X) != 288 {
+		t.Fatal("daily figure malformed")
+	}
+}

@@ -1,0 +1,494 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs of the form
+//
+//	minimize    cᵀx
+//	subject to  Aeq·x  = beq
+//	            Aub·x ≤ bub
+//	            x ≥ 0
+//
+// It is used for the per-step electricity-cost reference optimizer
+// (Rao et al., INFOCOM'10 — eq. (46) of the paper) and as the "optimal
+// method" baseline in the experiments. Problems in this project are small
+// (tens of variables), so a dense tableau with Bland anti-cycling is both
+// simple and robust.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem is returned for structurally invalid inputs.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+// Problem is a linear program in the package's canonical form. Any of the
+// constraint groups may be nil/empty. All variables are implicitly
+// nonnegative; bounded variables should be encoded with Aub rows.
+type Problem struct {
+	// C is the cost vector; its length fixes the number of variables.
+	C []float64
+	// Aeq, Beq define equality constraints Aeq·x = Beq.
+	Aeq *mat.Dense
+	Beq []float64
+	// Aub, Bub define inequality constraints Aub·x ≤ Bub.
+	Aub *mat.Dense
+	Bub []float64
+}
+
+// Result holds a solve outcome. X is meaningful only when Status == Optimal.
+type Result struct {
+	Status     Status
+	X          []float64
+	Obj        float64
+	Iterations int
+	// DualsEq holds the equality constraints' dual prices (shadow prices):
+	// the marginal change of the optimum per unit of Beq. Nil when the
+	// solve did not reach optimality.
+	DualsEq []float64
+	// DualsUb holds the inequality constraints' dual prices (≤ 0 in this
+	// minimization convention is impossible: they are ≥ 0 Lagrange
+	// multipliers reported with the sign such that Obj ≈ Σ DualsEq·Beq +
+	// Σ DualsUb·Bub for non-degenerate problems).
+	DualsUb []float64
+}
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("empty cost vector: %w", ErrBadProblem)
+	}
+	if p.Aeq != nil {
+		if p.Aeq.Cols() != n {
+			return fmt.Errorf("Aeq has %d cols, want %d: %w", p.Aeq.Cols(), n, ErrBadProblem)
+		}
+		if p.Aeq.Rows() != len(p.Beq) {
+			return fmt.Errorf("Aeq has %d rows but Beq has %d: %w", p.Aeq.Rows(), len(p.Beq), ErrBadProblem)
+		}
+	} else if len(p.Beq) != 0 {
+		return fmt.Errorf("Beq without Aeq: %w", ErrBadProblem)
+	}
+	if p.Aub != nil {
+		if p.Aub.Cols() != n {
+			return fmt.Errorf("Aub has %d cols, want %d: %w", p.Aub.Cols(), n, ErrBadProblem)
+		}
+		if p.Aub.Rows() != len(p.Bub) {
+			return fmt.Errorf("Aub has %d rows but Bub has %d: %w", p.Aub.Rows(), len(p.Bub), ErrBadProblem)
+		}
+	} else if len(p.Bub) != 0 {
+		return fmt.Errorf("Bub without Aub: %w", ErrBadProblem)
+	}
+	for i, v := range p.C {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("C[%d] = %v: %w", i, v, ErrBadProblem)
+		}
+	}
+	return nil
+}
+
+const (
+	pivotTol   = 1e-9
+	feasTol    = 1e-7
+	blandAfter = 500
+)
+
+// Solve runs the two-phase simplex method on p.
+func Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := newTableau(p)
+	res := t.run()
+	return res, nil
+}
+
+// tableau is a dense simplex tableau in standard form:
+// rows = structural constraints, one column per variable (originals,
+// slacks, artificials), plus a rhs column.
+type tableau struct {
+	a      [][]float64 // m rows, each of length nTotal+1 (last = rhs)
+	basis  []int       // basis[r] = column basic in row r
+	nOrig  int
+	nSlack int
+	nArt   int
+	m      int
+	mEq    int
+	iters  int
+	// artStart is the column index of the first artificial variable.
+	artStart int
+	// phase2Cost is the original objective padded with zeros to tableau width.
+	phase2Cost []float64
+	// flipped[r] records rows negated during rhs normalization (their dual
+	// price changes sign).
+	flipped []bool
+	// artOfRow[r] is the artificial column created for row r, or −1.
+	artOfRow []int
+}
+
+func newTableau(p *Problem) *tableau {
+	nOrig := len(p.C)
+	mEq := 0
+	if p.Aeq != nil {
+		mEq = p.Aeq.Rows()
+	}
+	mUb := 0
+	if p.Aub != nil {
+		mUb = p.Aub.Rows()
+	}
+	m := mEq + mUb
+	nSlack := mUb
+	// Worst case: one artificial per row.
+	nTotal := nOrig + nSlack + m
+	t := &tableau{
+		a:        make([][]float64, m),
+		basis:    make([]int, m),
+		nOrig:    nOrig,
+		nSlack:   nSlack,
+		m:        m,
+		mEq:      mEq,
+		artStart: nOrig + nSlack,
+		flipped:  make([]bool, m),
+		artOfRow: make([]int, m),
+	}
+	for r := 0; r < m; r++ {
+		t.a[r] = make([]float64, nTotal+1)
+	}
+	row := 0
+	for r := 0; r < mEq; r++ {
+		for j := 0; j < nOrig; j++ {
+			t.a[row][j] = p.Aeq.At(r, j)
+		}
+		t.a[row][nTotal] = p.Beq[r]
+		row++
+	}
+	for r := 0; r < mUb; r++ {
+		for j := 0; j < nOrig; j++ {
+			t.a[row][j] = p.Aub.At(r, j)
+		}
+		t.a[row][nOrig+r] = 1 // slack
+		t.a[row][nTotal] = p.Bub[r]
+		row++
+	}
+	// Normalize rhs ≥ 0.
+	for r := 0; r < m; r++ {
+		if t.a[r][nTotal] < 0 {
+			for j := range t.a[r] {
+				t.a[r][j] = -t.a[r][j]
+			}
+			t.flipped[r] = true
+		}
+	}
+	// Choose initial basis: prefer a slack with coefficient +1, else add an
+	// artificial variable.
+	for r := 0; r < m; r++ {
+		t.basis[r] = -1
+		t.artOfRow[r] = -1
+		for j := nOrig; j < nOrig+nSlack; j++ {
+			if t.a[r][j] == 1 && t.colIsUnit(j, r) {
+				t.basis[r] = j
+				break
+			}
+		}
+		if t.basis[r] == -1 {
+			col := t.artStart + t.nArt
+			t.nArt++
+			t.a[r][col] = 1
+			t.basis[r] = col
+			t.artOfRow[r] = col
+		}
+	}
+	t.phase2Cost = make([]float64, nTotal)
+	copy(t.phase2Cost, p.C)
+	return t
+}
+
+// colIsUnit reports whether column j is 1 in row r and 0 elsewhere.
+func (t *tableau) colIsUnit(j, r int) bool {
+	for i := 0; i < t.m; i++ {
+		v := t.a[i][j]
+		if i == r {
+			if v != 1 {
+				return false
+			}
+		} else if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *tableau) rhsCol() int { return len(t.a[0]) - 1 }
+
+// run executes phase 1 (if artificials exist) and phase 2, returning the
+// result in terms of the original variables. Objective coefficients are
+// provided per phase via cost closures.
+func (t *tableau) run() *Result {
+	// The cost row is maintained implicitly: at each pricing step we compute
+	// reduced costs from the current basis. This is O(m·n) per iteration,
+	// fine at our scale, and avoids cost-row drift.
+	if t.nArt > 0 {
+		cost := make([]float64, t.rhsCol())
+		for j := t.artStart; j < t.artStart+t.nArt; j++ {
+			cost[j] = 1
+		}
+		st := t.iterate(cost, math.Inf(1))
+		if st == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here means
+			// a numerical breakdown.
+			return &Result{Status: Infeasible, Iterations: t.iters}
+		}
+		if st == IterationLimit {
+			return &Result{Status: IterationLimit, Iterations: t.iters}
+		}
+		if obj := t.objective(cost); obj > feasTol {
+			return &Result{Status: Infeasible, Iterations: t.iters}
+		}
+		t.driveOutArtificials()
+	}
+	cost := make([]float64, t.rhsCol())
+	// Phase 2 cost: original C, artificials forbidden via +inf barrier is
+	// handled by never letting them enter (entering loop skips them).
+	copy(cost, t.phase2Cost)
+	st := t.iterate(cost, math.Inf(1))
+	switch st {
+	case Unbounded:
+		return &Result{Status: Unbounded, Iterations: t.iters}
+	case IterationLimit:
+		return &Result{Status: IterationLimit, Iterations: t.iters}
+	}
+	x := make([]float64, t.nOrig)
+	rhs := t.rhsCol()
+	for r, b := range t.basis {
+		if b < t.nOrig {
+			x[b] = t.a[r][rhs]
+		}
+	}
+	dualsEq, dualsUb := t.duals(cost)
+	return &Result{
+		Status: Optimal, X: x,
+		Obj:        mat.Dot(t.phase2Cost[:t.nOrig], x),
+		Iterations: t.iters,
+		DualsEq:    dualsEq,
+		DualsUb:    dualsUb,
+	}
+}
+
+// duals recovers the simplex multipliers y = c_Bᵀ·B⁻¹ from the reduced
+// costs of the columns that started as identity: the slack column of each
+// ≤ row and the artificial column of each = row have A-column e_r, so
+// rc_col = c_col − y_r with c_col = 0 in phase 2, i.e. y_r = −rc_col.
+// Rows negated during rhs normalization flip the sign back.
+func (t *tableau) duals(cost []float64) (dualsEq, dualsUb []float64) {
+	reduced := func(col int) float64 {
+		rc := cost[col]
+		for r, b := range t.basis {
+			if cb := cost[b]; cb != 0 && t.a[r][col] != 0 {
+				rc -= cb * t.a[r][col]
+			}
+		}
+		return rc
+	}
+	dualsEq = make([]float64, t.mEq)
+	for r := 0; r < t.mEq; r++ {
+		col := t.artOfRow[r]
+		if col < 0 {
+			continue // no identity column for this row; dual unknown → 0
+		}
+		y := -reduced(col)
+		if t.flipped[r] {
+			y = -y
+		}
+		dualsEq[r] = y
+	}
+	dualsUb = make([]float64, t.m-t.mEq)
+	for r := t.mEq; r < t.m; r++ {
+		// ≤ rows carry their slack at column nOrig + (r − mEq) unless the
+		// row was flipped (slack coefficient −1); recover via whichever
+		// identity column exists.
+		col := t.nOrig + (r - t.mEq)
+		y := -reduced(col)
+		if t.flipped[r] {
+			y = -y
+		}
+		dualsUb[r-t.mEq] = y
+	}
+	return dualsEq, dualsUb
+}
+
+// objective returns cᵀ·x_B for the current basic solution.
+func (t *tableau) objective(cost []float64) float64 {
+	var obj float64
+	rhs := t.rhsCol()
+	for r, b := range t.basis {
+		obj += cost[b] * t.a[r][rhs]
+	}
+	return obj
+}
+
+// iterate runs primal simplex pivots until optimality, unboundedness, or an
+// iteration cap. cost has one entry per tableau column (excluding rhs).
+func (t *tableau) iterate(cost []float64, _ float64) Status {
+	n := t.rhsCol()
+	maxIters := 200 + 50*(t.m+n)
+	for local := 0; ; local++ {
+		if local > maxIters {
+			return IterationLimit
+		}
+		t.iters++
+		useBland := local > blandAfter
+		// Compute simplex multipliers y via reduced costs directly:
+		// rc_j = c_j - Σ_r c_{basis[r]}·a[r][j].
+		enter := -1
+		bestRC := -pivotTol
+		for j := 0; j < n; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			// Forbid re-entering artificials once phase 1 is done: their
+			// cost in phase 2 is 0 which could cause harmless degenerate
+			// pivots; skip them entirely.
+			if cost[j] == 0 && j >= t.artStart && j < t.artStart+t.nArt && !t.inPhase1(cost) {
+				continue
+			}
+			rc := cost[j]
+			for r, b := range t.basis {
+				if cb := cost[b]; cb != 0 && t.a[r][j] != 0 {
+					rc -= cb * t.a[r][j]
+				}
+			}
+			if rc < bestRC {
+				if useBland {
+					enter = j
+					break
+				}
+				bestRC = rc
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		minRatio := math.Inf(1)
+		rhs := t.rhsCol()
+		for r := 0; r < t.m; r++ {
+			d := t.a[r][enter]
+			if d <= pivotTol {
+				continue
+			}
+			ratio := t.a[r][rhs] / d
+			if ratio < minRatio-1e-12 || (math.Abs(ratio-minRatio) <= 1e-12 && (leave == -1 || t.basis[r] < t.basis[leave])) {
+				minRatio = ratio
+				leave = r
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) inPhase1(cost []float64) bool {
+	for j := t.artStart; j < t.artStart+t.nArt; j++ {
+		if cost[j] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column enter basic in row leave via Gauss-Jordan elimination.
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.a[leave]
+	p := prow[enter]
+	for j := range prow {
+		prow[j] /= p
+	}
+	for r := 0; r < t.m; r++ {
+		if r == leave {
+			continue
+		}
+		f := t.a[r][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[r]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots zero-valued basic artificials out of the basis
+// where possible so phase 2 starts from a clean basis.
+func (t *tableau) driveOutArtificials() {
+	rhs := t.rhsCol()
+	for r := 0; r < t.m; r++ {
+		b := t.basis[r]
+		if b < t.artStart || b >= t.artStart+t.nArt {
+			continue
+		}
+		if math.Abs(t.a[r][rhs]) > feasTol {
+			continue // should not happen after a feasible phase 1
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[r][j]) > pivotTol && !t.isBasic(j) {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; zero it so it can never pivot again.
+			for j := 0; j <= rhs; j++ {
+				if j != b {
+					t.a[r][j] = 0
+				}
+			}
+			t.a[r][rhs] = 0
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L*Lᵀ.
+type Cholesky struct {
+	l *Dense
+	n int
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive definite matrix a. Only the lower triangle of a is read.
+// It returns ErrSingular if a is not positive definite to working precision.
+func FactorCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: cholesky of %dx%d: %w", a.rows, a.cols, ErrShape)
+	}
+	n := a.rows
+	l := Zeros(n, n)
+	for j := 0; j < n; j++ {
+		d := a.data[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l.data[j*n+k] * l.data[j*n+k]
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("mat: non-positive-definite at column %d (d=%g): %w", j, d, ErrSingular)
+		}
+		dj := math.Sqrt(d)
+		l.data[j*n+j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = s / dj
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// CondEstimate returns (max diag L / min diag L)², a cheap lower bound on
+// the condition number of the factored matrix.
+func (c *Cholesky) CondEstimate() float64 {
+	if c.n == 0 {
+		return 1
+	}
+	min, max := c.l.data[0], c.l.data[0]
+	for i := 1; i < c.n; i++ {
+		d := c.l.data[i*c.n+i]
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min <= 0 {
+		return math.Inf(1)
+	}
+	r := max / min
+	return r * r
+}
+
+// SolveVec solves A*x = b given A = L*Lᵀ.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("mat: cholesky solve rhs length %d, want %d: %w", len(b), c.n, ErrShape)
+	}
+	n := c.n
+	// Forward: L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.data[i*n+k] * y[k]
+		}
+		y[i] = s / c.l.data[i*n+i]
+	}
+	// Back: Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.data[k*n+i] * y[k]
+		}
+		y[i] = s / c.l.data[i*n+i]
+	}
+	return y, nil
+}
+
+// Solve solves A*X = B column by column.
+func (c *Cholesky) Solve(b *Dense) (*Dense, error) {
+	if b.rows != c.n {
+		return nil, fmt.Errorf("mat: cholesky solve rhs %dx%d, want %d rows: %w", b.rows, b.cols, c.n, ErrShape)
+	}
+	out := Zeros(c.n, b.cols)
+	col := make([]float64, c.n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < c.n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x, err := c.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c.n; i++ {
+			out.data[i*out.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}

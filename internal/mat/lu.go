@@ -1,0 +1,166 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U, where L is
+// unit lower triangular and U is upper triangular, stored packed in lu.
+type LU struct {
+	lu    *Dense
+	piv   []int // piv[i] = row of A in position i after pivoting
+	signs int   // +1 or -1, parity of the permutation
+	n     int
+}
+
+// FactorLU computes the LU factorization of the square matrix a with partial
+// pivoting. It returns ErrSingular if a pivot is exactly zero; callers that
+// need a tolerance should inspect MinPivot.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: LU of %dx%d: %w", a.rows, a.cols, ErrShape)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	signs := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the largest |entry| in column k at/below row k.
+		p := k
+		max := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.data[i*n+k]); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("mat: zero pivot at column %d: %w", k, ErrSingular)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+			signs = -signs
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= m * lu.data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, signs: signs, n: n}, nil
+}
+
+func swapRows(m *Dense, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// MinPivot returns the smallest absolute diagonal entry of U, a cheap
+// conditioning signal.
+func (f *LU) MinPivot() float64 {
+	min := math.Inf(1)
+	for i := 0; i < f.n; i++ {
+		if v := math.Abs(f.lu.data[i*f.n+i]); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.signs)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.data[i*f.n+i]
+	}
+	return d
+}
+
+// SolveVec solves A*x = b for x.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("mat: LU solve rhs length %d, want %d: %w", len(b), f.n, ErrShape)
+	}
+	n := f.n
+	x := make([]float64, n)
+	// Apply permutation: x = P*b.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit L.
+	for i := 1; i < n; i++ {
+		var s float64
+		row := f.lu.data[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.data[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu.data[i*n+i]
+	}
+	return x, nil
+}
+
+// Solve solves A*X = B for the matrix X, column by column.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	if b.rows != f.n {
+		return nil, fmt.Errorf("mat: LU solve rhs %dx%d, want %d rows: %w", b.rows, b.cols, f.n, ErrShape)
+	}
+	out := Zeros(f.n, b.cols)
+	col := make([]float64, f.n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < f.n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x, err := f.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < f.n; i++ {
+			out.data[i*out.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// Inverse returns A⁻¹ from the factorization.
+func (f *LU) Inverse() (*Dense, error) {
+	return f.Solve(Identity(f.n))
+}
+
+// SolveVec solves the square system a*x = b using LU with partial pivoting.
+func SolveVec(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// Solve solves the square system a*X = B using LU with partial pivoting.
+func Solve(a, b *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

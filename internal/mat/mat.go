@@ -1,0 +1,402 @@
+// Package mat implements the dense linear algebra needed by the
+// electricity-cost controller: vectors, matrices, factorizations
+// (LU, Cholesky, QR), linear solves, and the matrix exponential used
+// for zero-order-hold discretization of continuous-time systems.
+//
+// All types use float64 storage in row-major order. Dimensions in this
+// project are small (tens of rows), so the implementations favour
+// clarity and numerical robustness over blocking or parallelism.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// Dense is a row-major dense matrix.
+//
+// The zero value is an empty 0x0 matrix ready for use with Reset-style
+// constructors; most callers should use New, Zeros, Identity or FromRows.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns an r-by-c matrix backed by data, which must have length r*c.
+// The matrix takes ownership of data (no copy).
+func New(r, c int, data []float64) (*Dense, error) {
+	if r < 0 || c < 0 {
+		return nil, fmt.Errorf("mat: negative dimension %dx%d: %w", r, c, ErrShape)
+	}
+	if len(data) != r*c {
+		return nil, fmt.Errorf("mat: data length %d != %d*%d: %w", len(data), r, c, ErrShape)
+	}
+	return &Dense{rows: r, cols: c, data: data}, nil
+}
+
+// MustNew is New but panics on error. Intended for tests and package-level
+// literals where dimensions are static.
+func MustNew(r, c int, data []float64) *Dense {
+	m, err := New(r, c, data)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Zeros returns an r-by-c matrix of zeros.
+func Zeros(r, c int) *Dense {
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Dense {
+	m := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return Zeros(0, 0), nil
+	}
+	c := len(rows[0])
+	m := Zeros(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("mat: row %d has length %d, want %d: %w", i, len(row), c, ErrShape)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.bounds(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.bounds(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) bounds(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := Zeros(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow length %d, want %d", len(v), m.cols))
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := Zeros(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("mat: add %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
+	}
+	out := Zeros(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b.
+func Sub(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("mat: sub %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
+	}
+	out := Zeros(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s*a as a new matrix.
+func Scale(s float64, a *Dense) *Dense {
+	out := Zeros(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = s * a.data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("mat: mul %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
+	}
+	out := Zeros(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product a*x.
+func MulVec(a *Dense, x []float64) ([]float64, error) {
+	if a.cols != len(x) {
+		return nil, fmt.Errorf("mat: mulvec %dx%d with len %d: %w", a.rows, a.cols, len(x), ErrShape)
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// MulTVec returns aᵀ*x.
+func MulTVec(a *Dense, x []float64) ([]float64, error) {
+	if a.rows != len(x) {
+		return nil, fmt.Errorf("mat: multvec %dx%d with len %d: %w", a.rows, a.cols, len(x), ErrShape)
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out, nil
+}
+
+// NormInf returns the infinity norm (max absolute row sum).
+func (m *Dense) NormInf() float64 {
+	var max float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += math.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormFro returns the Frobenius norm.
+func (m *Dense) NormFro() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Dense) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Equalish reports whether a and b have the same shape and all entries
+// within tol of each other.
+func Equalish(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns a copy of the submatrix rows [r0,r1) and columns [c0,c1).
+func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("mat: slice [%d:%d,%d:%d] of %dx%d out of range", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	out := Zeros(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.data[(i-r0)*out.cols:(i-r0+1)*out.cols], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return out
+}
+
+// SetBlock copies src into m starting at row r0, column c0.
+func (m *Dense) SetBlock(r0, c0 int, src *Dense) {
+	if r0 < 0 || c0 < 0 || r0+src.rows > m.rows || c0+src.cols > m.cols {
+		panic(fmt.Sprintf("mat: block %dx%d at (%d,%d) exceeds %dx%d", src.rows, src.cols, r0, c0, m.rows, m.cols))
+	}
+	for i := 0; i < src.rows; i++ {
+		copy(m.data[(r0+i)*m.cols+c0:(r0+i)*m.cols+c0+src.cols], src.data[i*src.cols:(i+1)*src.cols])
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.6g", m.data[i*m.cols+j])
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Dot returns the inner product of equal-length vectors x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// AddVec returns x + y.
+func AddVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: addvec length mismatch %d vs %d", len(x), len(y)))
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// SubVec returns x - y.
+func SubVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: subvec length mismatch %d vs %d", len(x), len(y)))
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// ScaleVec returns s*x.
+func ScaleVec(s float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = s * x[i]
+	}
+	return out
+}
+
+// NormVec returns the Euclidean norm of x.
+func NormVec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInfVec returns the max-abs entry of x.
+func NormInfVec(x []float64) float64 {
+	var max float64
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}

@@ -1,0 +1,219 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewServerModelPaperValues(t *testing.T) {
+	// Paper experiment: 150 W idle, 285 W at peak rate µ.
+	for _, mu := range []float64{2, 1.25, 1.75} {
+		m, err := NewServerModel(150, 285, mu)
+		if err != nil {
+			t.Fatalf("NewServerModel: %v", err)
+		}
+		if m.B0 != 150 {
+			t.Fatalf("B0 = %g, want 150", m.B0)
+		}
+		if math.Abs(m.Power(mu)-285) > 1e-9 {
+			t.Fatalf("Power(µ) = %g, want 285", m.Power(mu))
+		}
+	}
+}
+
+func TestNewServerModelErrors(t *testing.T) {
+	if _, err := NewServerModel(-1, 285, 2); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("negative idle: %v", err)
+	}
+	if _, err := NewServerModel(300, 285, 2); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("peak < idle: %v", err)
+	}
+	if _, err := NewServerModel(150, 285, 0); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("zero rate: %v", err)
+	}
+}
+
+func TestFleetPowerMatchesPaperNumbers(t *testing.T) {
+	// Paper §V: MN fully on (40000 servers) and fully loaded = 11.4 MW;
+	// WI fully on (20000) fully loaded = 5.7 MW; MI 7500 at peak = 2.1375 MW.
+	cases := []struct {
+		mu      float64
+		servers int
+		wantMW  float64
+	}{
+		{1.25, 40000, 11.4},
+		{1.75, 20000, 5.7},
+		{2.0, 7500, 2.1375},
+	}
+	for _, tc := range cases {
+		m, err := NewServerModel(150, 285, tc.mu)
+		if err != nil {
+			t.Fatalf("NewServerModel: %v", err)
+		}
+		got := WattsToMW(m.PeakFleetPower(tc.servers, tc.mu))
+		if math.Abs(got-tc.wantMW) > 1e-9 {
+			t.Fatalf("PeakFleetPower(%d servers, µ=%g) = %g MW, want %g",
+				tc.servers, tc.mu, got, tc.wantMW)
+		}
+	}
+}
+
+func TestFleetPowerClamping(t *testing.T) {
+	m := ServerModel{B0: 100, B1: 10}
+	if got := m.FleetPower(-5, -3); got != 0 {
+		t.Fatalf("FleetPower with negative inputs = %g, want 0", got)
+	}
+	if got := m.Power(-1); got != 100 {
+		t.Fatalf("Power(-1) = %g, want idle 100", got)
+	}
+}
+
+func TestUtilizationModelReduce(t *testing.T) {
+	u := UtilizationModel{A0: 50, A1: 30, A2: 20, A3: 10}
+	f := 2.0
+	m, err := u.Reduce(f)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	// b0 = a2 f + a0 = 90; b1 = a3 + a1/f = 25.
+	if m.B0 != 90 || m.B1 != 25 {
+		t.Fatalf("Reduce = %+v, want B0=90, B1=25", m)
+	}
+	if _, err := u.Reduce(0); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("Reduce(0): %v", err)
+	}
+}
+
+func TestReduceConsistentWithFullModel(t *testing.T) {
+	// P(f, λ/f) must equal reduced model's Power(λ).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := UtilizationModel{
+			A0: 40 + 20*r.Float64(),
+			A1: 10 + 10*r.Float64(),
+			A2: 5 + 5*r.Float64(),
+			A3: 1 + 2*r.Float64(),
+		}
+		freq := 1 + 3*r.Float64()
+		m, err := u.Reduce(freq)
+		if err != nil {
+			return false
+		}
+		lambda := 2 * r.Float64()
+		util := lambda / freq
+		full := u.A3*freq*util + u.A2*freq + u.A1*util + u.A0
+		return math.Abs(full-m.Power(lambda)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitUtilizationModelRecoversTruth(t *testing.T) {
+	truth := UtilizationModel{A0: 55, A1: 35, A2: 18, A3: 7}
+	var samples []Sample
+	for _, f := range []float64{1.0, 1.5, 2.0, 2.5} {
+		for _, u := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+			w := truth.A3*f*u + truth.A2*f + truth.A1*u + truth.A0
+			samples = append(samples, Sample{Freq: f, Util: u, Watts: w})
+		}
+	}
+	got, err := FitUtilizationModel(samples)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for name, pair := range map[string][2]float64{
+		"a0": {got.A0, truth.A0}, "a1": {got.A1, truth.A1},
+		"a2": {got.A2, truth.A2}, "a3": {got.A3, truth.A3},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-6 {
+			t.Fatalf("%s = %g, want %g", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestFitUtilizationModelNoisy(t *testing.T) {
+	truth := UtilizationModel{A0: 55, A1: 35, A2: 18, A3: 7}
+	rng := rand.New(rand.NewSource(11))
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		f := 1 + 2*rng.Float64()
+		u := rng.Float64()
+		w := truth.A3*f*u + truth.A2*f + truth.A1*u + truth.A0 + rng.NormFloat64()*0.5
+		samples = append(samples, Sample{Freq: f, Util: u, Watts: w})
+	}
+	got, err := FitUtilizationModel(samples)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if math.Abs(got.A0-truth.A0) > 2 || math.Abs(got.A3-truth.A3) > 2 {
+		t.Fatalf("noisy fit drifted: %+v vs %+v", got, truth)
+	}
+}
+
+func TestFitUtilizationModelTooFewSamples(t *testing.T) {
+	if _, err := FitUtilizationModel([]Sample{{1, 1, 1}}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("too few samples: %v", err)
+	}
+}
+
+func TestEnergyTrapezoid(t *testing.T) {
+	// Constant 100 W for 10 s sampled every second → 1000 J.
+	watts := make([]float64, 11)
+	for i := range watts {
+		watts[i] = 100
+	}
+	if e := Energy(watts, 1); math.Abs(e-1000) > 1e-9 {
+		t.Fatalf("Energy = %g, want 1000", e)
+	}
+	// Linear ramp 0..100 over 10 s → 500 J.
+	for i := range watts {
+		watts[i] = float64(i) * 10
+	}
+	if e := Energy(watts, 1); math.Abs(e-500) > 1e-9 {
+		t.Fatalf("ramp Energy = %g, want 500", e)
+	}
+	if e := Energy(watts[:1], 1); e != 0 {
+		t.Fatalf("single sample Energy = %g, want 0", e)
+	}
+	if e := Energy(watts, 0); e != 0 {
+		t.Fatalf("dt=0 Energy = %g, want 0", e)
+	}
+}
+
+func TestCostUnits(t *testing.T) {
+	// 1 MW for 1 hour at $50/MWh = $50.
+	n := 3601
+	watts := make([]float64, n)
+	price := make([]float64, n)
+	for i := range watts {
+		watts[i] = 1e6
+		price[i] = 50
+	}
+	if c := Cost(watts, price, 1); math.Abs(c-50) > 1e-6 {
+		t.Fatalf("Cost = %g, want 50", c)
+	}
+}
+
+func TestCostMismatchedLengths(t *testing.T) {
+	watts := []float64{1e6, 1e6, 1e6}
+	price := []float64{50, 50}
+	// Uses the shorter length; half as much as a full 2-step integral
+	// would be 2 intervals — here only 1 interval counts.
+	c := Cost(watts, price, 3600)
+	if math.Abs(c-50) > 1e-9 {
+		t.Fatalf("Cost = %g, want 50 for one 1-hour interval", c)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if v := JoulesToMWh(3.6e9); v != 1 {
+		t.Fatalf("JoulesToMWh = %g, want 1", v)
+	}
+	if v := WattsToMW(2.5e6); v != 2.5 {
+		t.Fatalf("WattsToMW = %g, want 2.5", v)
+	}
+}

@@ -1,0 +1,98 @@
+package price
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadTraces parses hourly price traces from CSV: a header line naming the
+// regions ("hour,region1,region2,…") followed by one row per hour. The
+// hour column is positional and ignored beyond validation. This lets
+// operators feed real LMP feeds (MISO, PJM, …) into the controller.
+func ReadTraces(r io.Reader) ([]*Trace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("price: read header: %w", err)
+		}
+		return nil, fmt.Errorf("empty input: %w", ErrBadTrace)
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 2 {
+		return nil, fmt.Errorf("header %q needs an hour column plus regions: %w", sc.Text(), ErrBadTrace)
+	}
+	regions := make([]Region, len(header)-1)
+	for i, name := range header[1:] {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("empty region name in header: %w", ErrBadTrace)
+		}
+		regions[i] = Region(name)
+	}
+	series := make([][]float64, len(regions))
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("line %d has %d fields, want %d: %w", line, len(fields), len(header), ErrBadTrace)
+		}
+		for i := range regions {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[i+1]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d field %d: %w (%v)", line, i+1, ErrBadTrace, err)
+			}
+			series[i] = append(series[i], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("price: read traces: %w", err)
+	}
+	traces := make([]*Trace, len(regions))
+	for i, reg := range regions {
+		t, err := NewTrace(reg, series[i])
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = t
+	}
+	return traces, nil
+}
+
+// WriteTraces renders traces as the CSV format ReadTraces accepts. All
+// traces must have the same length.
+func WriteTraces(w io.Writer, traces []*Trace) error {
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces: %w", ErrBadTrace)
+	}
+	hours := traces[0].Hours()
+	header := make([]string, 0, len(traces)+1)
+	header = append(header, "hour")
+	for _, t := range traces {
+		if t.Hours() != hours {
+			return fmt.Errorf("trace %q has %d hours, want %d: %w", t.Region(), t.Hours(), hours, ErrBadTrace)
+		}
+		header = append(header, string(t.Region()))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for h := 0; h < hours; h++ {
+		row := make([]string, 0, len(traces)+1)
+		row = append(row, strconv.Itoa(h))
+		for _, t := range traces {
+			row = append(row, strconv.FormatFloat(t.AtHour(h), 'g', 8, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,620 @@
+// Package qp implements a primal active-set solver for strictly convex
+// quadratic programs
+//
+//	minimize    ½ xᵀH x + qᵀx
+//	subject to  Aeq·x  = beq
+//	            Ain·x ≤ bin
+//
+// with H symmetric positive definite. This is the solver behind the MPC
+// problem (42)–(45) of the paper: the condensed MPC cost
+// ‖W′Θ·ΔU − Π‖²_Q + ‖ΔU‖²_R is strictly convex whenever R ≻ 0, and the
+// constraints are the stacked workload-conservation equalities and
+// latency/nonnegativity inequalities.
+//
+// The solver needs a feasible starting point. Callers that cannot provide
+// one may leave X0 nil; Solve then runs an LP phase-1 (via internal/lp) with
+// variable splitting to construct one.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mat"
+)
+
+// Solver failure modes.
+var (
+	// ErrBadProblem is returned for structurally invalid inputs.
+	ErrBadProblem = errors.New("qp: malformed problem")
+	// ErrInfeasible is returned when no point satisfies the constraints.
+	ErrInfeasible = errors.New("qp: infeasible constraints")
+	// ErrIterationLimit is returned when the active-set loop fails to
+	// converge; with a PD Hessian this indicates severe degeneracy.
+	ErrIterationLimit = errors.New("qp: iteration limit exceeded")
+)
+
+// Problem is a convex QP. Aeq/Ain groups may be nil.
+type Problem struct {
+	// H is the n-by-n symmetric positive definite Hessian.
+	H *mat.Dense
+	// Q is the linear term q (length n).
+	Q []float64
+	// Aeq, Beq define equality constraints.
+	Aeq *mat.Dense
+	Beq []float64
+	// Ain, Bin define inequality constraints Ain·x ≤ bin.
+	Ain *mat.Dense
+	Bin []float64
+	// X0 is an optional feasible starting point. When nil a phase-1 LP is
+	// solved to find one.
+	X0 []float64
+}
+
+// Result is a solve outcome.
+type Result struct {
+	X          []float64
+	Obj        float64
+	Iterations int
+	// Active lists the indices of inequality constraints active at the
+	// solution, ascending.
+	Active []int
+}
+
+const (
+	featol  = 1e-7
+	steptol = 1e-11
+	lamtol  = 1e-9
+)
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	if p.H == nil || p.H.Rows() == 0 {
+		return fmt.Errorf("nil or empty Hessian: %w", ErrBadProblem)
+	}
+	n := p.H.Rows()
+	if p.H.Cols() != n {
+		return fmt.Errorf("Hessian %dx%d not square: %w", p.H.Rows(), p.H.Cols(), ErrBadProblem)
+	}
+	if len(p.Q) != n {
+		return fmt.Errorf("q has length %d, want %d: %w", len(p.Q), n, ErrBadProblem)
+	}
+	if p.Aeq != nil && (p.Aeq.Cols() != n || p.Aeq.Rows() != len(p.Beq)) {
+		return fmt.Errorf("Aeq %dx%d with Beq %d: %w", p.Aeq.Rows(), p.Aeq.Cols(), len(p.Beq), ErrBadProblem)
+	}
+	if p.Ain != nil && (p.Ain.Cols() != n || p.Ain.Rows() != len(p.Bin)) {
+		return fmt.Errorf("Ain %dx%d with Bin %d: %w", p.Ain.Rows(), p.Ain.Cols(), len(p.Bin), ErrBadProblem)
+	}
+	if p.X0 != nil && len(p.X0) != n {
+		return fmt.Errorf("X0 has length %d, want %d: %w", len(p.X0), n, ErrBadProblem)
+	}
+	return nil
+}
+
+// Objective evaluates ½ xᵀH x + qᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	hx, err := mat.MulVec(p.H, x)
+	if err != nil {
+		return math.NaN()
+	}
+	return 0.5*mat.Dot(x, hx) + mat.Dot(p.Q, x)
+}
+
+// Solve runs the active-set method.
+func Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.H.Rows()
+	x := make([]float64, n)
+	if p.X0 != nil {
+		copy(x, p.X0)
+		if !feasible(p, x, featol) {
+			fx, err := findFeasible(p)
+			if err != nil {
+				return nil, err
+			}
+			x = fx
+		}
+	} else if p.Aeq != nil || p.Ain != nil {
+		fx, err := findFeasible(p)
+		if err != nil {
+			return nil, err
+		}
+		x = fx
+	}
+
+	mEq := 0
+	if p.Aeq != nil {
+		mEq = p.Aeq.Rows()
+	}
+	mIn := 0
+	if p.Ain != nil {
+		mIn = p.Ain.Rows()
+	}
+
+	// H is constant across active-set iterations: factor it once. The
+	// Cholesky enables the Schur-complement KKT solve with per-constraint
+	// caching of H⁻¹aᵢ. The dense indefinite KKT factorization is the
+	// fallback — immediately when H is semidefinite or visibly
+	// ill-conditioned, and as a retry if the Schur-driven loop stalls
+	// (severe conditioning can pass the cheap estimate yet still produce
+	// meaningless directions).
+	hChol, _ := mat.FactorCholesky(p.H)
+	if hChol != nil && hChol.CondEstimate() > 1e12 {
+		hChol = nil
+	}
+	res, err := activeSetLoop(p, hChol, x, n, mEq, mIn)
+	if errors.Is(err, ErrIterationLimit) && hChol != nil {
+		res, err = activeSetLoop(p, nil, x, n, mEq, mIn)
+	}
+	return res, err
+}
+
+// activeSetLoop runs the primal active-set iteration from the feasible
+// point x0 (copied), using the Schur path when hChol is non-nil.
+func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn int) (*Result, error) {
+	x := append([]float64{}, x0...)
+	zCache := make(map[int][]float64)
+
+	// Working set over inequality indices.
+	active := make([]bool, mIn)
+	for i := 0; i < mIn; i++ {
+		row := p.Ain.Row(i)
+		if math.Abs(mat.Dot(row, x)-p.Bin[i]) <= featol {
+			active[i] = true
+		}
+	}
+	pruneDependent(p, active, mEq)
+
+	maxIters := 100 + 20*(n+mEq+mIn)
+	fullSteps := 0
+	for iter := 0; iter < maxIters; iter++ {
+		dir, lam, err := kktStep(p, hChol, zCache, x, active, mEq)
+		if err != nil {
+			// Degenerate working set: drop one active constraint and retry.
+			if dropAny(active) {
+				continue
+			}
+			return nil, err
+		}
+		// In exact arithmetic one full unblocked step lands exactly on the
+		// working-set minimum, so the next direction is zero. When rounding
+		// noise keeps the direction slightly nonzero, repeated full steps
+		// signal stationarity just as reliably as a tiny step norm.
+		stationary := mat.NormInfVec(dir) <= steptol*(1+mat.NormInfVec(x)) || fullSteps >= 2
+		if stationary {
+			// Stationary on the working set; drop every active inequality
+			// with a negative multiplier (the multipliers follow the
+			// equality ones in lam). Dropping in bulk converges much faster
+			// than one-at-a-time on the large all-zero working sets the MPC
+			// starts from; a blocking constraint re-enters via the line
+			// search if the combined move overshoots.
+			dropped := false
+			li := mEq
+			for i := 0; i < mIn; i++ {
+				if !active[i] {
+					continue
+				}
+				if lam[li] < -lamtol {
+					active[i] = false
+					dropped = true
+				}
+				li++
+			}
+			if !dropped {
+				return &Result{
+					X:          x,
+					Obj:        p.Objective(x),
+					Iterations: iter + 1,
+					Active:     activeList(active),
+				}, nil
+			}
+			fullSteps = 0
+			continue
+		}
+		// Line search to the nearest blocking inactive constraint.
+		alpha := 1.0
+		block := -1
+		for i := 0; i < mIn; i++ {
+			if active[i] {
+				continue
+			}
+			row := p.Ain.Row(i)
+			ad := mat.Dot(row, dir)
+			if ad <= featol {
+				continue
+			}
+			slack := p.Bin[i] - mat.Dot(row, x)
+			if slack < 0 {
+				slack = 0
+			}
+			if a := slack / ad; a < alpha {
+				alpha = a
+				block = i
+			}
+		}
+		for i := range x {
+			x[i] += alpha * dir[i]
+		}
+		if block >= 0 {
+			active[block] = true
+			pruneDependent(p, active, mEq)
+			fullSteps = 0
+		} else {
+			fullSteps++
+		}
+	}
+	return nil, ErrIterationLimit
+}
+
+// kktStep solves the equality-constrained subproblem on the working set:
+//
+//	[H  Awᵀ] [p]   [-(Hx+q)]
+//	[Aw  0 ] [λ] = [   0   ]
+//
+// returning the step p and multipliers λ (equalities first, then active
+// inequalities in index order). With a Cholesky factor of H available the
+// system is solved via the Schur complement S = Aw·H⁻¹·Awᵀ (H is factored
+// once per Solve, not per iteration); otherwise a dense KKT factorization
+// is used.
+func kktStep(p *Problem, hChol *mat.Cholesky, zCache map[int][]float64, x []float64, active []bool, mEq int) (dir, lam []float64, err error) {
+	n := p.H.Rows()
+	workRows := make([][]float64, 0, mEq)
+	workIDs := make([]int, 0, mEq)
+	for i := 0; i < mEq; i++ {
+		workRows = append(workRows, p.Aeq.Row(i))
+		workIDs = append(workIDs, i)
+	}
+	for i, a := range active {
+		if a {
+			workRows = append(workRows, p.Ain.Row(i))
+			workIDs = append(workIDs, mEq+i)
+		}
+	}
+	grad, err := mat.MulVec(p.H, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		grad[i] += p.Q[i]
+	}
+
+	if hChol != nil {
+		dir, lam, err = schurStep(hChol, zCache, workRows, workIDs, grad, n)
+		if err == nil {
+			return dir, lam, nil
+		}
+		// Ill-conditioned Schur complement: fall through to the dense path.
+	}
+	return denseKKTStep(p, workRows, grad, n)
+}
+
+// schurStep solves the KKT system via the Schur complement of the cached
+// Cholesky factorization of H.
+func schurStep(hChol *mat.Cholesky, zCache map[int][]float64, workRows [][]float64, workIDs []int, grad []float64, n int) (dir, lam []float64, err error) {
+	// y = −H⁻¹·grad is the unconstrained Newton step.
+	y, err := hChol.SolveVec(mat.ScaleVec(-1, grad))
+	if err != nil {
+		return nil, nil, fmt.Errorf("qp: H solve: %w", err)
+	}
+	k := len(workRows)
+	if k == 0 {
+		return y, nil, nil
+	}
+	// Z = H⁻¹·Awᵀ column by column, cached per constraint for the whole
+	// Solve (H does not change between iterations).
+	z := make([][]float64, k) // z[i] = H⁻¹·a_i
+	for i, row := range workRows {
+		if cached, ok := zCache[workIDs[i]]; ok {
+			z[i] = cached
+			continue
+		}
+		zi, err := hChol.SolveVec(row)
+		if err != nil {
+			return nil, nil, fmt.Errorf("qp: H solve: %w", err)
+		}
+		zCache[workIDs[i]] = zi
+		z[i] = zi
+	}
+	schur := mat.Zeros(k, k)
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			v := mat.Dot(workRows[i], z[j])
+			schur.Set(i, j, v)
+			schur.Set(j, i, v)
+		}
+	}
+	// S·λ = Aw·y.
+	rhs := make([]float64, k)
+	for i, row := range workRows {
+		rhs[i] = mat.Dot(row, y)
+	}
+	sChol, err := mat.FactorCholesky(schur)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
+	}
+	lam, err = sChol.SolveVec(rhs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
+	}
+	// dir = y − Z·λ.
+	dir = append([]float64{}, y...)
+	for i := 0; i < k; i++ {
+		li := lam[i]
+		if li == 0 {
+			continue
+		}
+		zi := z[i]
+		for t := 0; t < n; t++ {
+			dir[t] -= li * zi[t]
+		}
+	}
+	return dir, lam, nil
+}
+
+// denseKKTStep is the fallback for semidefinite H: factor the full
+// indefinite KKT matrix with partial-pivoted LU.
+func denseKKTStep(p *Problem, workRows [][]float64, grad []float64, n int) (dir, lam []float64, err error) {
+	rows := len(workRows)
+	kkt := mat.Zeros(n+rows, n+rows)
+	kkt.SetBlock(0, 0, p.H)
+	for r, row := range workRows {
+		for j, v := range row {
+			kkt.Set(n+r, j, v)
+			kkt.Set(j, n+r, v)
+		}
+	}
+	rhs := make([]float64, n+rows)
+	for i := 0; i < n; i++ {
+		rhs[i] = -grad[i]
+	}
+	sol, err := mat.SolveVec(kkt, rhs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
+	}
+	return sol[:n], sol[n:], nil
+}
+
+// pruneDependent removes active inequality constraints whose normals are
+// linearly dependent with the equality rows and earlier active rows, keeping
+// the KKT system nonsingular. Independence is tested by incremental
+// modified Gram–Schmidt, O(k²·n) over the whole working set rather than one
+// QR factorization per candidate.
+func pruneDependent(p *Problem, active []bool, mEq int) {
+	basis := make([][]float64, 0, mEq+len(active))
+	// addIfIndependent orthogonalizes row against the basis; if a
+	// significant residual remains the (normalized) residual joins the
+	// basis and the row is independent.
+	addIfIndependent := func(row []float64) bool {
+		norm0 := mat.NormVec(row)
+		if norm0 == 0 {
+			return false
+		}
+		r := append([]float64{}, row...)
+		for _, b := range basis {
+			dot := mat.Dot(r, b)
+			for k := range r {
+				r[k] -= dot * b[k]
+			}
+		}
+		// Second orthogonalization pass for numerical robustness.
+		for _, b := range basis {
+			dot := mat.Dot(r, b)
+			for k := range r {
+				r[k] -= dot * b[k]
+			}
+		}
+		nr := mat.NormVec(r)
+		if nr <= 1e-10*norm0 {
+			return false
+		}
+		inv := 1 / nr
+		for k := range r {
+			r[k] *= inv
+		}
+		basis = append(basis, r)
+		return true
+	}
+	for i := 0; i < mEq; i++ {
+		addIfIndependent(p.Aeq.Row(i)) // equalities always stay
+	}
+	for i, a := range active {
+		if !a {
+			continue
+		}
+		if !addIfIndependent(p.Ain.Row(i)) {
+			active[i] = false
+		}
+	}
+}
+
+func dropAny(active []bool) bool {
+	for i := len(active) - 1; i >= 0; i-- {
+		if active[i] {
+			active[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+func activeList(active []bool) []int {
+	var out []int
+	for i, a := range active {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// feasible reports whether x satisfies all constraints within tol.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	if p.Aeq != nil {
+		ax, err := mat.MulVec(p.Aeq, x)
+		if err != nil {
+			return false
+		}
+		for i, v := range ax {
+			if math.Abs(v-p.Beq[i]) > tol {
+				return false
+			}
+		}
+	}
+	if p.Ain != nil {
+		ax, err := mat.MulVec(p.Ain, x)
+		if err != nil {
+			return false
+		}
+		for i, v := range ax {
+			if v > p.Bin[i]+tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// findFeasible runs an LP phase-1 with variable splitting x = x⁺ − x⁻ and
+// elastic slacks on the inequalities, minimizing total slack. A zero optimum
+// yields a feasible x.
+func findFeasible(p *Problem) ([]float64, error) {
+	n := p.H.Rows()
+	mIn := 0
+	if p.Ain != nil {
+		mIn = p.Ain.Rows()
+	}
+	nv := 2*n + mIn // x⁺, x⁻, s
+	c := make([]float64, nv)
+	for i := 0; i < mIn; i++ {
+		c[2*n+i] = 1
+	}
+	var aeq *mat.Dense
+	var beq []float64
+	if p.Aeq != nil {
+		mEq := p.Aeq.Rows()
+		aeq = mat.Zeros(mEq, nv)
+		for i := 0; i < mEq; i++ {
+			for j := 0; j < n; j++ {
+				v := p.Aeq.At(i, j)
+				aeq.Set(i, j, v)
+				aeq.Set(i, n+j, -v)
+			}
+		}
+		beq = append([]float64{}, p.Beq...)
+	}
+	var aub *mat.Dense
+	var bub []float64
+	if p.Ain != nil {
+		aub = mat.Zeros(mIn, nv)
+		for i := 0; i < mIn; i++ {
+			for j := 0; j < n; j++ {
+				v := p.Ain.At(i, j)
+				aub.Set(i, j, v)
+				aub.Set(i, n+j, -v)
+			}
+			aub.Set(i, 2*n+i, -1)
+		}
+		bub = append([]float64{}, p.Bin...)
+	}
+	res, err := lp.Solve(&lp.Problem{C: c, Aeq: aeq, Beq: beq, Aub: aub, Bub: bub})
+	if err != nil {
+		return nil, fmt.Errorf("qp: phase-1 LP: %w", err)
+	}
+	if res.Status != lp.Optimal || res.Obj > 1e-6 {
+		return nil, fmt.Errorf("qp: phase-1 LP status %v obj %g: %w", res.Status, res.Obj, ErrInfeasible)
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = res.X[j] - res.X[n+j]
+	}
+	return x, nil
+}
+
+// LSProblem is a constrained weighted least-squares problem
+//
+//	minimize ‖M·x − d‖²_Wq + ‖x‖²_Wr
+//
+// with diagonal weights, subject to the same constraint groups as Problem.
+// It is lowered to a QP via H = 2(MᵀWqM + Wr), q = −2 MᵀWq d.
+type LSProblem struct {
+	M *mat.Dense
+	D []float64
+	// Wq are the per-row tracking weights (length M.Rows()); nil means 1.
+	Wq []float64
+	// Wr are the per-variable regularization weights (length M.Cols());
+	// nil means 0. For strict convexity either Wr > 0 or M full column rank.
+	Wr []float64
+
+	Aeq *mat.Dense
+	Beq []float64
+	Ain *mat.Dense
+	Bin []float64
+	X0  []float64
+}
+
+// Lower converts the least-squares formulation to a quadratic program.
+func (l *LSProblem) Lower() (*Problem, error) {
+	if l.M == nil {
+		return nil, fmt.Errorf("nil design matrix: %w", ErrBadProblem)
+	}
+	m, n := l.M.Rows(), l.M.Cols()
+	if len(l.D) != m {
+		return nil, fmt.Errorf("d has length %d, want %d: %w", len(l.D), m, ErrBadProblem)
+	}
+	if l.Wq != nil && len(l.Wq) != m {
+		return nil, fmt.Errorf("wq has length %d, want %d: %w", len(l.Wq), m, ErrBadProblem)
+	}
+	if l.Wr != nil && len(l.Wr) != n {
+		return nil, fmt.Errorf("wr has length %d, want %d: %w", len(l.Wr), n, ErrBadProblem)
+	}
+	// WqM = diag(wq)·M computed row-wise.
+	wqm := l.M.Clone()
+	if l.Wq != nil {
+		for i := 0; i < m; i++ {
+			w := l.Wq[i]
+			for j := 0; j < n; j++ {
+				wqm.Set(i, j, w*l.M.At(i, j))
+			}
+		}
+	}
+	h, err := mat.Mul(l.M.T(), wqm)
+	if err != nil {
+		return nil, err
+	}
+	h = mat.Scale(2, h)
+	if l.Wr != nil {
+		for j := 0; j < n; j++ {
+			h.Set(j, j, h.At(j, j)+2*l.Wr[j])
+		}
+	}
+	wd := append([]float64{}, l.D...)
+	if l.Wq != nil {
+		for i := range wd {
+			wd[i] *= l.Wq[i]
+		}
+	}
+	mtd, err := mat.MulTVec(l.M, wd)
+	if err != nil {
+		return nil, err
+	}
+	q := mat.ScaleVec(-2, mtd)
+	return &Problem{
+		H: h, Q: q,
+		Aeq: l.Aeq, Beq: l.Beq,
+		Ain: l.Ain, Bin: l.Bin,
+		X0: l.X0,
+	}, nil
+}
+
+// SolveLS lowers and solves a constrained least-squares problem.
+func SolveLS(l *LSProblem) (*Result, error) {
+	p, err := l.Lower()
+	if err != nil {
+		return nil, err
+	}
+	return Solve(p)
+}

@@ -1,0 +1,512 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func solveOK(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+	}{
+		{"nil H", Problem{Q: []float64{1}}},
+		{"nonsquare H", Problem{H: mat.Zeros(2, 3), Q: []float64{1, 1}}},
+		{"q length", Problem{H: mat.Identity(2), Q: []float64{1}}},
+		{"aeq shape", Problem{H: mat.Identity(2), Q: []float64{0, 0}, Aeq: mat.Zeros(1, 3), Beq: []float64{0}}},
+		{"ain shape", Problem{H: mat.Identity(2), Q: []float64{0, 0}, Ain: mat.Zeros(2, 2), Bin: []float64{0}}},
+		{"x0 length", Problem{H: mat.Identity(2), Q: []float64{0, 0}, X0: []float64{1}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); !errors.Is(err, ErrBadProblem) {
+				t.Fatalf("Validate = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+func TestUnconstrained(t *testing.T) {
+	// min ½xᵀHx + qᵀx with H = 2I, q = [-2, -4] → x = [1, 2].
+	p := &Problem{
+		H: mat.Scale(2, mat.Identity(2)),
+		Q: []float64{-2, -4},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-9 || math.Abs(res.X[1]-2) > 1e-9 {
+		t.Fatalf("X = %v, want [1 2]", res.X)
+	}
+}
+
+func TestEqualityConstrained(t *testing.T) {
+	// min ½‖x‖² s.t. x1 + x2 = 2 → x = [1, 1] (projection of origin).
+	p := &Problem{
+		H:   mat.Identity(2),
+		Q:   []float64{0, 0},
+		Aeq: mat.MustNew(1, 2, []float64{1, 1}),
+		Beq: []float64{2},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-9 || math.Abs(res.X[1]-1) > 1e-9 {
+		t.Fatalf("X = %v, want [1 1]", res.X)
+	}
+}
+
+func TestActiveInequality(t *testing.T) {
+	// min (x1-2)² + (x2-2)² s.t. x1 + x2 ≤ 2 → x = [1, 1].
+	p := &Problem{
+		H:   mat.Scale(2, mat.Identity(2)),
+		Q:   []float64{-4, -4},
+		Ain: mat.MustNew(1, 2, []float64{1, 1}),
+		Bin: []float64{2},
+		X0:  []float64{0, 0},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-8 || math.Abs(res.X[1]-1) > 1e-8 {
+		t.Fatalf("X = %v, want [1 1]", res.X)
+	}
+	if len(res.Active) != 1 || res.Active[0] != 0 {
+		t.Fatalf("Active = %v, want [0]", res.Active)
+	}
+}
+
+func TestInactiveInequality(t *testing.T) {
+	// Same objective but constraint x1+x2 ≤ 10 is slack → x = [2, 2].
+	p := &Problem{
+		H:   mat.Scale(2, mat.Identity(2)),
+		Q:   []float64{-4, -4},
+		Ain: mat.MustNew(1, 2, []float64{1, 1}),
+		Bin: []float64{10},
+		X0:  []float64{0, 0},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-2) > 1e-8 || math.Abs(res.X[1]-2) > 1e-8 {
+		t.Fatalf("X = %v, want [2 2]", res.X)
+	}
+	if len(res.Active) != 0 {
+		t.Fatalf("Active = %v, want empty", res.Active)
+	}
+}
+
+func TestBoxConstrained(t *testing.T) {
+	// min (x1+1)² + (x2-3)² s.t. 0 ≤ xi ≤ 2 (as Ain rows).
+	// Unconstrained optimum (-1, 3) clips to (0, 2).
+	p := &Problem{
+		H: mat.Scale(2, mat.Identity(2)),
+		Q: []float64{2, -6},
+		Ain: mat.MustNew(4, 2, []float64{
+			1, 0,
+			0, 1,
+			-1, 0,
+			0, -1,
+		}),
+		Bin: []float64{2, 2, 0, 0},
+		X0:  []float64{1, 1},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]) > 1e-8 || math.Abs(res.X[1]-2) > 1e-8 {
+		t.Fatalf("X = %v, want [0 2]", res.X)
+	}
+}
+
+func TestMixedEqualityInequality(t *testing.T) {
+	// min ½‖x‖² s.t. x1+x2+x3 = 3, x1 ≤ 0.5.
+	// Without the bound: x = [1,1,1]. With it: x1 = 0.5, x2 = x3 = 1.25.
+	p := &Problem{
+		H:   mat.Identity(3),
+		Q:   []float64{0, 0, 0},
+		Aeq: mat.MustNew(1, 3, []float64{1, 1, 1}),
+		Beq: []float64{3},
+		Ain: mat.MustNew(1, 3, []float64{1, 0, 0}),
+		Bin: []float64{0.5},
+		X0:  []float64{0, 1.5, 1.5},
+	}
+	res := solveOK(t, p)
+	want := []float64{0.5, 1.25, 1.25}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-8 {
+			t.Fatalf("X = %v, want %v", res.X, want)
+		}
+	}
+}
+
+func TestPhase1FindsFeasibleStart(t *testing.T) {
+	// No X0 given; solver must construct one via the LP phase.
+	p := &Problem{
+		H:   mat.Identity(2),
+		Q:   []float64{0, 0},
+		Aeq: mat.MustNew(1, 2, []float64{1, -1}),
+		Beq: []float64{4},
+		Ain: mat.MustNew(1, 2, []float64{0, 1}),
+		Bin: []float64{-1}, // x2 ≤ -1, feasible with free-signed vars
+	}
+	res := solveOK(t, p)
+	// Optimum of ½‖x‖² s.t. x1-x2=4, x2≤-1: Lagrange gives x=(2,-2) which
+	// satisfies x2 ≤ -1, so it is the unconstrained-on-manifold optimum.
+	if math.Abs(res.X[0]-2) > 1e-7 || math.Abs(res.X[1]+2) > 1e-7 {
+		t.Fatalf("X = %v, want [2 -2]", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		H:   mat.Identity(1),
+		Q:   []float64{0},
+		Aeq: mat.MustNew(1, 1, []float64{1}),
+		Beq: []float64{5},
+		Ain: mat.MustNew(1, 1, []float64{1}),
+		Bin: []float64{2},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Solve = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleX0Recovered(t *testing.T) {
+	// Feasible problem, infeasible X0: solver must recover via phase 1.
+	p := &Problem{
+		H:   mat.Identity(2),
+		Q:   []float64{0, 0},
+		Ain: mat.MustNew(1, 2, []float64{1, 1}),
+		Bin: []float64{1},
+		X0:  []float64{5, 5},
+	}
+	res := solveOK(t, p)
+	if res.X[0]+res.X[1] > 1+1e-6 {
+		t.Fatalf("X = %v violates constraint", res.X)
+	}
+}
+
+func TestRedundantActiveConstraintsPruned(t *testing.T) {
+	// Duplicate rows both active at X0: pruneDependent must drop one or the
+	// KKT system would be singular.
+	p := &Problem{
+		H: mat.Scale(2, mat.Identity(2)),
+		Q: []float64{-4, -4},
+		Ain: mat.MustNew(2, 2, []float64{
+			1, 1,
+			1, 1,
+		}),
+		Bin: []float64{2, 2},
+		X0:  []float64{1, 1}, // both constraints tight here
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.X[0]-1) > 1e-8 || math.Abs(res.X[1]-1) > 1e-8 {
+		t.Fatalf("X = %v, want [1 1]", res.X)
+	}
+}
+
+// kktResidual returns the max-norm of the stationarity residual
+// Hx + q + Aeqᵀy + Ainᵀz with z ≥ 0 supported on active constraints,
+// reconstructing multipliers by least squares.
+func kktResidual(p *Problem, res *Result) float64 {
+	n := p.H.Rows()
+	hx, _ := mat.MulVec(p.H, res.X)
+	grad := mat.AddVec(hx, p.Q)
+	var rows [][]float64
+	if p.Aeq != nil {
+		for i := 0; i < p.Aeq.Rows(); i++ {
+			rows = append(rows, p.Aeq.Row(i))
+		}
+	}
+	for _, i := range res.Active {
+		rows = append(rows, p.Ain.Row(i))
+	}
+	if len(rows) == 0 {
+		return mat.NormInfVec(grad)
+	}
+	at := mat.Zeros(n, len(rows))
+	for j, r := range rows {
+		for i := 0; i < n; i++ {
+			at.Set(i, j, r[i])
+		}
+	}
+	mult, err := mat.LeastSquares(at, mat.ScaleVec(-1, grad))
+	if err != nil {
+		return math.Inf(1)
+	}
+	recon, _ := mat.MulVec(at, mult)
+	return mat.NormInfVec(mat.AddVec(grad, recon))
+}
+
+func TestPropertyKKTOnRandomProblems(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		// H = MᵀM + I (SPD).
+		m := mat.Zeros(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+		}
+		mt, _ := mat.Mul(m.T(), m)
+		h, _ := mat.Add(mt, mat.Identity(n))
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		// Box constraints −2 ≤ xi ≤ 2 → always feasible, x0 = 0.
+		ain := mat.Zeros(2*n, n)
+		bin := make([]float64, 2*n)
+		for i := 0; i < n; i++ {
+			ain.Set(i, i, 1)
+			bin[i] = 2
+			ain.Set(n+i, i, -1)
+			bin[n+i] = 2
+		}
+		p := &Problem{H: h, Q: q, Ain: ain, Bin: bin, X0: make([]float64, n)}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if !feasible(p, res.X, 1e-6) {
+			return false
+		}
+		return kktResidual(p, res) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyObjectiveNotWorseThanProjectedSamples(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		h := mat.Scale(2, mat.Identity(n))
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64() * 3
+		}
+		// Simplex constraint Σx = 1, x ≥ 0.
+		aeq := mat.Zeros(1, n)
+		for j := 0; j < n; j++ {
+			aeq.Set(0, j, 1)
+		}
+		ain := mat.Zeros(n, n)
+		bin := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ain.Set(i, i, -1)
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = 1.0 / float64(n)
+		}
+		p := &Problem{H: h, Q: q, Aeq: aeq, Beq: []float64{1}, Ain: ain, Bin: bin, X0: x0}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 25; k++ {
+			// Random point on the simplex.
+			x := make([]float64, n)
+			var sum float64
+			for i := range x {
+				x[i] = r.Float64()
+				sum += x[i]
+			}
+			for i := range x {
+				x[i] /= sum
+			}
+			if p.Objective(x) < res.Obj-1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLSUnconstrainedMatchesQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 8, 3
+	design := mat.Zeros(m, n)
+	d := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			design.Set(i, j, rng.NormFloat64())
+		}
+		d[i] = rng.NormFloat64()
+	}
+	want, err := mat.LeastSquares(design, d)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	res, err := SolveLS(&LSProblem{M: design, D: d})
+	if err != nil {
+		t.Fatalf("SolveLS: %v", err)
+	}
+	if mat.NormInfVec(mat.SubVec(res.X, want)) > 1e-7 {
+		t.Fatalf("SolveLS = %v, QR = %v", res.X, want)
+	}
+}
+
+func TestSolveLSRegularizationShrinks(t *testing.T) {
+	design := mat.Identity(2)
+	d := []float64{4, 4}
+	plain, err := SolveLS(&LSProblem{M: design, D: d})
+	if err != nil {
+		t.Fatalf("SolveLS: %v", err)
+	}
+	ridge, err := SolveLS(&LSProblem{M: design, D: d, Wr: []float64{3, 3}})
+	if err != nil {
+		t.Fatalf("SolveLS ridge: %v", err)
+	}
+	if !(mat.NormVec(ridge.X) < mat.NormVec(plain.X)) {
+		t.Fatalf("ridge %v not smaller than plain %v", ridge.X, plain.X)
+	}
+	// Closed form: x = d/(1+w) = 1.
+	if math.Abs(ridge.X[0]-1) > 1e-8 {
+		t.Fatalf("ridge.X = %v, want [1 1]", ridge.X)
+	}
+}
+
+func TestSolveLSWeightedRows(t *testing.T) {
+	// Two conflicting observations of a scalar; the heavier row wins.
+	design := mat.MustNew(2, 1, []float64{1, 1})
+	d := []float64{0, 10}
+	res, err := SolveLS(&LSProblem{M: design, D: d, Wq: []float64{1, 9}})
+	if err != nil {
+		t.Fatalf("SolveLS: %v", err)
+	}
+	if math.Abs(res.X[0]-9) > 1e-8 {
+		t.Fatalf("X = %v, want [9]", res.X)
+	}
+}
+
+func TestSolveLSValidate(t *testing.T) {
+	if _, err := SolveLS(&LSProblem{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("nil M: %v, want ErrBadProblem", err)
+	}
+	if _, err := SolveLS(&LSProblem{M: mat.Identity(2), D: []float64{1}}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("short d: %v, want ErrBadProblem", err)
+	}
+	if _, err := SolveLS(&LSProblem{M: mat.Identity(2), D: []float64{1, 1}, Wq: []float64{1}}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("short wq: %v, want ErrBadProblem", err)
+	}
+	if _, err := SolveLS(&LSProblem{M: mat.Identity(2), D: []float64{1, 1}, Wr: []float64{1}}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("short wr: %v, want ErrBadProblem", err)
+	}
+}
+
+func TestSolveLSConstrained(t *testing.T) {
+	// Fit x to d = [3, 5] with constraint x1 = x2: optimum x = [4, 4].
+	res, err := SolveLS(&LSProblem{
+		M:   mat.Identity(2),
+		D:   []float64{3, 5},
+		Aeq: mat.MustNew(1, 2, []float64{1, -1}),
+		Beq: []float64{0},
+	})
+	if err != nil {
+		t.Fatalf("SolveLS: %v", err)
+	}
+	if math.Abs(res.X[0]-4) > 1e-8 || math.Abs(res.X[1]-4) > 1e-8 {
+		t.Fatalf("X = %v, want [4 4]", res.X)
+	}
+}
+
+// TestPropertyMixedConstraintsKKT stresses both KKT paths (Schur and dense)
+// on random strictly convex problems with equalities and many inequalities,
+// verifying feasibility and the stationarity residual at the solution.
+func TestPropertyMixedConstraintsKKT(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		// H = MᵀM + εI with ε spanning well- to ill-conditioned.
+		m := mat.Zeros(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+		}
+		mt, _ := mat.Mul(m.T(), m)
+		eps := math.Pow(10, -6*r.Float64()) // 1 … 1e-6
+		h, _ := mat.Add(mt, mat.Scale(eps, mat.Identity(n)))
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = 3 * r.NormFloat64()
+		}
+		// One equality: sum(x) = s0 with s0 chosen feasible.
+		aeq := mat.Zeros(1, n)
+		for j := 0; j < n; j++ {
+			aeq.Set(0, j, 1)
+		}
+		beq := []float64{float64(n) / 2}
+		// Box inequalities −1 ≤ x ≤ 1; x0 = (1/2, …) satisfies everything.
+		ain := mat.Zeros(2*n, n)
+		bin := make([]float64, 2*n)
+		for i := 0; i < n; i++ {
+			ain.Set(i, i, 1)
+			bin[i] = 1
+			ain.Set(n+i, i, -1)
+			bin[n+i] = 1
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = 0.5
+		}
+		p := &Problem{H: h, Q: q, Aeq: aeq, Beq: beq, Ain: ain, Bin: bin, X0: x0}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if !feasible(p, res.X, 1e-5) {
+			return false
+		}
+		return kktResidual(p, res) < 1e-4*(1+mat.NormInfVec(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchurAndDenseAgree compares the two KKT paths on the same problem.
+func TestSchurAndDenseAgree(t *testing.T) {
+	n := 6
+	h := mat.Scale(2, mat.Identity(n))
+	q := []float64{-1, 2, -3, 4, -5, 6}
+	aeq := mat.Zeros(1, n)
+	for j := 0; j < n; j++ {
+		aeq.Set(0, j, 1)
+	}
+	ain := mat.Zeros(n, n)
+	bin := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ain.Set(i, i, -1) // x ≥ 0
+	}
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = 0.5
+	}
+	p := &Problem{H: h, Q: q, Aeq: aeq, Beq: []float64{3}, Ain: ain, Bin: bin, X0: x0}
+	// The public path (Schur-enabled).
+	schur, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Force the dense path directly.
+	dense, err := activeSetLoop(p, nil, x0, n, 1, n)
+	if err != nil {
+		t.Fatalf("dense loop: %v", err)
+	}
+	if mat.NormInfVec(mat.SubVec(schur.X, dense.X)) > 1e-7 {
+		t.Fatalf("paths disagree:\nschur %v\ndense %v", schur.X, dense.X)
+	}
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ctrl"
+	"repro/internal/idc"
+	"repro/internal/metrics"
+	"repro/internal/price"
+	"repro/internal/workload"
+)
+
+func paperScenario() Scenario {
+	return Scenario{
+		Name:      "flip",
+		Topology:  idc.PaperTopology(),
+		Prices:    price.NewEmbeddedModel(),
+		Steps:     160,
+		Ts:        30,
+		StartHour: 6,
+		SlowEvery: 4,
+		MPC:       ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 4},
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sc := paperScenario()
+	sc.Topology = nil
+	if _, err := Run(sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("nil topology: %v", err)
+	}
+	sc = paperScenario()
+	sc.Prices = nil
+	if _, err := Run(sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("nil prices: %v", err)
+	}
+	sc = paperScenario()
+	sc.Steps = 0
+	if _, err := Run(sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("zero steps: %v", err)
+	}
+	sc = paperScenario()
+	sc.Ts = -5
+	if _, err := Run(sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("negative ts: %v", err)
+	}
+}
+
+func TestRunRecordsBothMethods(t *testing.T) {
+	sc := paperScenario()
+	sc.Steps = 8
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Control.Steps() != 8 {
+		t.Fatalf("control steps = %d", res.Control.Steps())
+	}
+	if res.Optimal == nil || res.Optimal.Steps() != 8 {
+		t.Fatal("optimal baseline missing or short")
+	}
+	for j := 0; j < 3; j++ {
+		if len(res.Control.PowerWatts[j]) != 8 || len(res.Optimal.Servers[j]) != 8 {
+			t.Fatal("per-IDC series length mismatch")
+		}
+	}
+	// Time axis in minutes at Ts = 30 s.
+	if res.Control.TimeMin[1] != 0.5 {
+		t.Fatalf("TimeMin[1] = %g, want 0.5", res.Control.TimeMin[1])
+	}
+	if res.Control.Hours[0] != 6 {
+		t.Fatalf("hour = %d, want 6", res.Control.Hours[0])
+	}
+}
+
+func TestSkipBaseline(t *testing.T) {
+	sc := paperScenario()
+	sc.Steps = 4
+	sc.SkipBaseline = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Optimal != nil {
+		t.Fatal("baseline recorded despite SkipBaseline")
+	}
+}
+
+func TestSliceCopies(t *testing.T) {
+	sc := paperScenario()
+	sc.Steps = 10
+	sc.SkipBaseline = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sl := res.Control.Slice(5, 10)
+	if sl.Steps() != 5 {
+		t.Fatalf("slice steps = %d", sl.Steps())
+	}
+	sl.PowerWatts[0][0] = -1
+	if res.Control.PowerWatts[0][5] == -1 {
+		t.Fatal("Slice aliased parent series")
+	}
+}
+
+// TestPaperFlipShape is the headline integration test: across the 6H→7H
+// price flip, the baseline steps instantaneously while the MPC ramps, both
+// end near the same steady state, and the MPC's worst per-step power jump
+// is a small fraction of the baseline's.
+func TestPaperFlipShape(t *testing.T) {
+	res, err := Run(paperScenario())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	flip := 120 // hour 6 occupies steps 0..119 at Ts=30
+	for j := 0; j < 3; j++ {
+		base := res.Optimal.PowerWatts[j]
+		ctl := res.Control.PowerWatts[j]
+		baseJump := math.Abs(base[flip] - base[flip-1])
+		if baseJump < 1e5 {
+			continue
+		}
+		ctlMax := metrics.MaxStep(ctl)
+		if ctlMax > 0.4*baseJump {
+			t.Errorf("idc %d: control max step %.3g not ≪ baseline jump %.3g", j, ctlMax, baseJump)
+		}
+		// Where the control method itself has a sizable transition, it must
+		// take several steps (the baseline takes exactly one). IDCs whose
+		// reference barely moves across the flip (e.g. Michigan stays at
+		// full fleet in both hours' optima) are skipped.
+		ctlChange := math.Abs(ctl[len(ctl)-1] - ctl[flip-1])
+		if ctlChange < 0.3*baseJump {
+			continue
+		}
+		var rampSteps int
+		for k := flip; k < len(ctl)-1; k++ {
+			if math.Abs(ctl[k+1]-ctl[k]) > 0.02*ctlChange {
+				rampSteps++
+			}
+		}
+		if rampSteps < 2 {
+			t.Errorf("idc %d: control transitioned in %d steps — no smoothing visible", j, rampSteps)
+		}
+	}
+}
+
+func TestDemandGeneratorScenario(t *testing.T) {
+	gen, err := workload.NewDiurnal(workload.DiurnalConfig{Base: 15000, NoiseFrac: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatalf("NewDiurnal: %v", err)
+	}
+	sc := paperScenario()
+	sc.Steps = 12
+	sc.Demands = func(step int) []float64 {
+		d := gen.Rate(step)
+		return []float64{d, d / 2, d / 2, d, d}
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Costs accumulate monotonically for both methods.
+	for k := 1; k < res.Control.Steps(); k++ {
+		if res.Control.CumulativeCost[k] < res.Control.CumulativeCost[k-1] {
+			t.Fatal("control cumulative cost decreased")
+		}
+		if res.Optimal.CumulativeCost[k] < res.Optimal.CumulativeCost[k-1] {
+			t.Fatal("baseline cumulative cost decreased")
+		}
+	}
+}
+
+func TestDefaultDemandsNeedMatchingPortals(t *testing.T) {
+	top, err := idc.NewTopology(2, idc.PaperTopology().IDCs())
+	if err != nil {
+		t.Fatalf("NewTopology: %v", err)
+	}
+	sc := paperScenario()
+	sc.Topology = top
+	if _, err := Run(sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("portal mismatch: %v", err)
+	}
+}
+
+// TestEnduranceFullDay runs the controller for a full synthetic day with
+// diurnal demand, forecasting and stochastic load-coupled prices — the
+// whole system integrated — and checks the closed-loop invariants hold at
+// every step.
+func TestEnduranceFullDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("endurance test skipped in -short mode")
+	}
+	top := idc.PaperTopology()
+	gens := make([]workload.Generator, top.C())
+	for i, base := range workload.TableI() {
+		g, err := workload.NewDiurnal(workload.DiurnalConfig{
+			Base: base / 3, PeakBoost: 1.0, NoiseFrac: 0.05, Seed: int64(100 + i),
+		})
+		if err != nil {
+			t.Fatalf("NewDiurnal: %v", err)
+		}
+		gens[i] = g
+	}
+	portals, err := workload.NewPortals(gens...)
+	if err != nil {
+		t.Fatalf("NewPortals: %v", err)
+	}
+	res, err := Run(Scenario{
+		Name:     "endurance",
+		Topology: top,
+		Prices: price.NewBidStackModel(price.NewEmbeddedModel(), price.BidStackConfig{
+			Sensitivity: 0.5, Sigma: 1.5, Seed: 77,
+		}),
+		Demands:     portals.Demands,
+		Steps:       288, // 24 h at 5-minute steps
+		Ts:          300,
+		SlowEvery:   12,
+		MPC:         ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+		UseForecast: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ctl := res.Control
+	if ctl.Steps() != 288 {
+		t.Fatalf("steps = %d", ctl.Steps())
+	}
+	for k := 0; k < ctl.Steps(); k++ {
+		for j := 0; j < top.N(); j++ {
+			d := top.IDC(j)
+			if ctl.Servers[j][k] > d.TotalServers || ctl.Servers[j][k] < 0 {
+				t.Fatalf("step %d idc %d: servers %d", k, j, ctl.Servers[j][k])
+			}
+			if ctl.PowerWatts[j][k] < 0 {
+				t.Fatalf("step %d idc %d: negative power", k, j)
+			}
+		}
+		if k > 0 && ctl.CumulativeCost[k] < ctl.CumulativeCost[k-1]-1e-9 {
+			t.Fatalf("cumulative cost decreased at %d", k)
+		}
+	}
+	// The day's bill should be in a sane band for ~10-20 MW at ~$20-80/MWh.
+	day := ctl.CumulativeCost[ctl.Steps()-1]
+	if day < 2000 || day > 40000 {
+		t.Fatalf("daily cost $%.0f outside plausibility band", day)
+	}
+}
+
+// TestScaleBeyondPaper runs the controller on an 8-portal, 6-IDC system
+// (48 allocation variables, 144 QP decision variables) to confirm the
+// pipeline is not hard-wired to the paper's 5×3 shape.
+func TestScaleBeyondPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	top, err := idc.SyntheticTopology(8, 6, 20000)
+	if err != nil {
+		t.Fatalf("SyntheticTopology: %v", err)
+	}
+	demands := make([]float64, 8)
+	for i := range demands {
+		demands[i] = 9000 // total 72000 vs ~120000 capacity
+	}
+	res, err := Run(Scenario{
+		Name:      "scale",
+		Topology:  top,
+		Prices:    price.NewEmbeddedModel(),
+		Demands:   func(int) []float64 { return demands },
+		Steps:     10,
+		Ts:        30,
+		StartHour: 6,
+		SlowEvery: 4,
+		MPC:       ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 4, PredHorizon: 6, CtrlHorizon: 3},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ctl := res.Control
+	if ctl.Steps() != 10 {
+		t.Fatalf("steps = %d", ctl.Steps())
+	}
+	// Conservation at the final step.
+	var served float64
+	for j := 0; j < top.N(); j++ {
+		if ctl.PowerWatts[j][9] < 0 {
+			t.Fatalf("negative power at idc %d", j)
+		}
+	}
+	// The sim does not retain U, so conservation is asserted indirectly:
+	// positive power everywhere and per-IDC draw within the physical fleet
+	// maximum.
+	for j := 0; j < top.N(); j++ {
+		d := top.IDC(j)
+		capW := d.Power.FleetPower(d.TotalServers, float64(d.TotalServers)*d.ServiceRate)
+		if ctl.PowerWatts[j][9] > capW {
+			t.Fatalf("idc %d power exceeds physical fleet maximum", j)
+		}
+		served += ctl.PowerWatts[j][9]
+	}
+	if served <= 0 {
+		t.Fatal("no power drawn at scale")
+	}
+}

@@ -1,0 +1,151 @@
+// Package tariff models the billing components the paper's introduction
+// argues about but its experiments do not price: beyond real-time energy
+// charges, large consumers pay a demand charge on their billing-period
+// power peak and steep penalties when a contracted peak limit is exceeded
+// ("some electricity suppliers impose a peak power limit on the amount of
+// power draw from the grid ... and penalize those IDCs heavily if this
+// limit is exceeded"). With these terms in the bill, smoothing and peak
+// shaving pay for the extra energy they consume — the claim the tariff
+// experiment in internal/experiments quantifies.
+package tariff
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadTariff is returned for non-physical tariff parameters.
+var ErrBadTariff = errors.New("tariff: invalid parameter")
+
+// Tariff prices one IDC's power series.
+type Tariff struct {
+	// DemandChargePerMW is the billing-period charge per MW of the peak
+	// power draw ($/MW per period). Typical utility demand charges run
+	// $5–20/kW-month ≙ $5000–20000/MW-month.
+	DemandChargePerMW float64
+	// PeakLimitWatts is the contracted maximum draw; 0 disables the limit.
+	PeakLimitWatts float64
+	// PenaltyPerMWh is the surcharge applied to energy drawn above the
+	// peak limit ($/MWh), on top of the energy price.
+	PenaltyPerMWh float64
+	// PenaltyPerEventPerMW is a fixed charge per excursion above the limit,
+	// scaled by the worst excess during the event ($/MW per event).
+	PenaltyPerEventPerMW float64
+}
+
+// Validate checks the tariff parameters.
+func (t *Tariff) Validate() error {
+	if t.DemandChargePerMW < 0 || t.PeakLimitWatts < 0 ||
+		t.PenaltyPerMWh < 0 || t.PenaltyPerEventPerMW < 0 {
+		return fmt.Errorf("negative tariff component: %w", ErrBadTariff)
+	}
+	return nil
+}
+
+// Bill itemizes the cost of one power series.
+type Bill struct {
+	// EnergyDollars is Σ price·power·dt.
+	EnergyDollars float64
+	// DemandDollars is DemandChargePerMW × peak MW.
+	DemandDollars float64
+	// PenaltyDollars is the over-limit energy surcharge plus per-event
+	// charges.
+	PenaltyDollars float64
+	// PeakWatts is the observed peak.
+	PeakWatts float64
+	// Events counts contiguous excursions above the peak limit.
+	Events int
+}
+
+// Total returns the all-in cost.
+func (b Bill) Total() float64 {
+	return b.EnergyDollars + b.DemandDollars + b.PenaltyDollars
+}
+
+// Price computes the bill for a power series (watts) with matching per-step
+// prices ($/MWh) sampled every dt seconds.
+func (t *Tariff) Price(watts, pricesPerMWh []float64, dt float64) (Bill, error) {
+	if err := t.Validate(); err != nil {
+		return Bill{}, err
+	}
+	if len(watts) != len(pricesPerMWh) {
+		return Bill{}, fmt.Errorf("%d power samples vs %d prices: %w",
+			len(watts), len(pricesPerMWh), ErrBadTariff)
+	}
+	if dt <= 0 {
+		return Bill{}, fmt.Errorf("dt %g: %w", dt, ErrBadTariff)
+	}
+	var b Bill
+	inEvent := false
+	var eventWorst float64
+	closeEvent := func() {
+		if inEvent {
+			b.Events++
+			b.PenaltyDollars += t.PenaltyPerEventPerMW * eventWorst / 1e6
+			inEvent = false
+			eventWorst = 0
+		}
+	}
+	for i, w := range watts {
+		if w < 0 {
+			return Bill{}, fmt.Errorf("negative power sample %g: %w", w, ErrBadTariff)
+		}
+		if w > b.PeakWatts {
+			b.PeakWatts = w
+		}
+		price := pricesPerMWh[i]
+		if price < 0 {
+			price = 0
+		}
+		mwh := w / 1e6 * dt / 3600
+		b.EnergyDollars += price * mwh
+		if t.PeakLimitWatts > 0 && w > t.PeakLimitWatts {
+			excess := w - t.PeakLimitWatts
+			b.PenaltyDollars += t.PenaltyPerMWh * (excess / 1e6 * dt / 3600)
+			if excess > eventWorst {
+				eventWorst = excess
+			}
+			inEvent = true
+		} else {
+			closeEvent()
+		}
+	}
+	closeEvent()
+	b.DemandDollars = t.DemandChargePerMW * b.PeakWatts / 1e6
+	return b, nil
+}
+
+// PriceFleet sums per-IDC bills for a fleet: watts[j] and prices[j] are
+// IDC j's series; tariffs[j] prices it (a nil entry uses a zero Tariff,
+// i.e. energy only).
+func PriceFleet(watts, prices [][]float64, tariffs []*Tariff, dt float64) (Bill, []Bill, error) {
+	if len(watts) != len(prices) {
+		return Bill{}, nil, fmt.Errorf("%d power series vs %d price series: %w",
+			len(watts), len(prices), ErrBadTariff)
+	}
+	if tariffs != nil && len(tariffs) != len(watts) {
+		return Bill{}, nil, fmt.Errorf("%d tariffs for %d IDCs: %w",
+			len(tariffs), len(watts), ErrBadTariff)
+	}
+	var total Bill
+	bills := make([]Bill, len(watts))
+	for j := range watts {
+		t := &Tariff{}
+		if tariffs != nil && tariffs[j] != nil {
+			t = tariffs[j]
+		}
+		b, err := t.Price(watts[j], prices[j], dt)
+		if err != nil {
+			return Bill{}, nil, fmt.Errorf("idc %d: %w", j, err)
+		}
+		bills[j] = b
+		total.EnergyDollars += b.EnergyDollars
+		total.DemandDollars += b.DemandDollars
+		total.PenaltyDollars += b.PenaltyDollars
+		if b.PeakWatts > total.PeakWatts {
+			total.PeakWatts = b.PeakWatts
+		}
+		total.Events += b.Events
+	}
+	return total, bills, nil
+}

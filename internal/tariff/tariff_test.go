@@ -1,0 +1,207 @@
+package tariff
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Tariff{
+		{DemandChargePerMW: -1},
+		{PeakLimitWatts: -1},
+		{PenaltyPerMWh: -1},
+		{PenaltyPerEventPerMW: -1},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); !errors.Is(err, ErrBadTariff) {
+			t.Errorf("tariff %d: %v", i, err)
+		}
+	}
+	ok := Tariff{DemandChargePerMW: 1000, PeakLimitWatts: 1e6, PenaltyPerMWh: 100}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid tariff rejected: %v", err)
+	}
+}
+
+func TestEnergyOnly(t *testing.T) {
+	// 1 MW for 1 h at $50/MWh = $50; no demand charge, no limit.
+	tr := &Tariff{}
+	n := 120
+	watts := make([]float64, n)
+	prices := make([]float64, n)
+	for i := range watts {
+		watts[i] = 1e6
+		prices[i] = 50
+	}
+	b, err := tr.Price(watts, prices, 30)
+	if err != nil {
+		t.Fatalf("Price: %v", err)
+	}
+	if math.Abs(b.EnergyDollars-50) > 1e-9 {
+		t.Fatalf("energy = %g, want 50", b.EnergyDollars)
+	}
+	if b.DemandDollars != 0 || b.PenaltyDollars != 0 || b.Events != 0 {
+		t.Fatalf("unexpected non-energy charges: %+v", b)
+	}
+	if b.PeakWatts != 1e6 {
+		t.Fatalf("peak = %g", b.PeakWatts)
+	}
+	if math.Abs(b.Total()-50) > 1e-9 {
+		t.Fatalf("total = %g", b.Total())
+	}
+}
+
+func TestDemandCharge(t *testing.T) {
+	tr := &Tariff{DemandChargePerMW: 10000}
+	watts := []float64{1e6, 5e6, 2e6}
+	prices := []float64{0, 0, 0}
+	b, err := tr.Price(watts, prices, 30)
+	if err != nil {
+		t.Fatalf("Price: %v", err)
+	}
+	if b.DemandDollars != 50000 {
+		t.Fatalf("demand = %g, want 50000 (5 MW × $10k/MW)", b.DemandDollars)
+	}
+}
+
+func TestPenaltyEnergyAndEvents(t *testing.T) {
+	tr := &Tariff{
+		PeakLimitWatts:       2e6,
+		PenaltyPerMWh:        100,
+		PenaltyPerEventPerMW: 1000,
+	}
+	// Two excursions: [3,3] and [4], separated by an in-limit sample.
+	watts := []float64{1e6, 3e6, 3e6, 2e6, 4e6}
+	prices := []float64{50, 50, 50, 50, 50}
+	dt := 3600.0 // 1 h per sample for easy arithmetic
+	b, err := tr.Price(watts, prices, dt)
+	if err != nil {
+		t.Fatalf("Price: %v", err)
+	}
+	if b.Events != 2 {
+		t.Fatalf("events = %d, want 2", b.Events)
+	}
+	// Over-limit energy: (1+1+2) MWh × $100 = $400.
+	// Event charges: worst excess 1 MW and 2 MW × $1000 = $3000.
+	wantPenalty := 400.0 + 3000.0
+	if math.Abs(b.PenaltyDollars-wantPenalty) > 1e-9 {
+		t.Fatalf("penalty = %g, want %g", b.PenaltyDollars, wantPenalty)
+	}
+}
+
+func TestTrailingEventClosed(t *testing.T) {
+	tr := &Tariff{PeakLimitWatts: 1e6, PenaltyPerEventPerMW: 100}
+	watts := []float64{2e6, 2e6} // series ends inside an excursion
+	prices := []float64{0, 0}
+	b, err := tr.Price(watts, prices, 60)
+	if err != nil {
+		t.Fatalf("Price: %v", err)
+	}
+	if b.Events != 1 {
+		t.Fatalf("events = %d, want 1 (trailing event must close)", b.Events)
+	}
+}
+
+func TestPriceErrors(t *testing.T) {
+	tr := &Tariff{}
+	if _, err := tr.Price([]float64{1}, []float64{1, 2}, 30); !errors.Is(err, ErrBadTariff) {
+		t.Fatalf("length mismatch: %v", err)
+	}
+	if _, err := tr.Price([]float64{1}, []float64{1}, 0); !errors.Is(err, ErrBadTariff) {
+		t.Fatalf("dt=0: %v", err)
+	}
+	if _, err := tr.Price([]float64{-1}, []float64{1}, 30); !errors.Is(err, ErrBadTariff) {
+		t.Fatalf("negative power: %v", err)
+	}
+	bad := &Tariff{DemandChargePerMW: -1}
+	if _, err := bad.Price([]float64{1}, []float64{1}, 30); !errors.Is(err, ErrBadTariff) {
+		t.Fatalf("invalid tariff: %v", err)
+	}
+}
+
+func TestNegativePricesFlooredAtZero(t *testing.T) {
+	tr := &Tariff{}
+	b, err := tr.Price([]float64{1e6, 1e6}, []float64{-50, -50}, 3600)
+	if err != nil {
+		t.Fatalf("Price: %v", err)
+	}
+	if b.EnergyDollars != 0 {
+		t.Fatalf("energy = %g, want 0 with negative prices floored", b.EnergyDollars)
+	}
+}
+
+func TestPriceFleet(t *testing.T) {
+	watts := [][]float64{{1e6, 1e6}, {3e6, 3e6}}
+	prices := [][]float64{{50, 50}, {20, 20}}
+	tariffs := []*Tariff{
+		nil, // energy only
+		{PeakLimitWatts: 2e6, PenaltyPerMWh: 10},
+	}
+	total, bills, err := PriceFleet(watts, prices, tariffs, 3600)
+	if err != nil {
+		t.Fatalf("PriceFleet: %v", err)
+	}
+	if len(bills) != 2 {
+		t.Fatalf("bills = %d", len(bills))
+	}
+	// Energy: 2 MWh×$50 + 6 MWh×$20 = 100 + 120 = 220.
+	if math.Abs(total.EnergyDollars-220) > 1e-9 {
+		t.Fatalf("total energy = %g, want 220", total.EnergyDollars)
+	}
+	// Penalty: 2 MWh over × $10 = 20.
+	if math.Abs(total.PenaltyDollars-20) > 1e-9 {
+		t.Fatalf("total penalty = %g, want 20", total.PenaltyDollars)
+	}
+	if total.PeakWatts != 3e6 {
+		t.Fatalf("fleet peak = %g", total.PeakWatts)
+	}
+	if _, _, err := PriceFleet(watts, prices[:1], tariffs, 3600); !errors.Is(err, ErrBadTariff) {
+		t.Fatalf("mismatched series: %v", err)
+	}
+	if _, _, err := PriceFleet(watts, prices, tariffs[:1], 3600); !errors.Is(err, ErrBadTariff) {
+		t.Fatalf("mismatched tariffs: %v", err)
+	}
+}
+
+func TestPropertyBillMonotoneInPower(t *testing.T) {
+	// Scaling the power series up never reduces any bill component.
+	tr := &Tariff{DemandChargePerMW: 5000, PeakLimitWatts: 2e6, PenaltyPerMWh: 50}
+	f := func(seed int64) bool {
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := float64((r>>33)%4000) / 1000 // 0..4 MW
+			if v < 0 {
+				v = -v
+			}
+			return v * 1e6
+		}
+		n := 20
+		watts := make([]float64, n)
+		prices := make([]float64, n)
+		for i := range watts {
+			watts[i] = next()
+			prices[i] = 40
+		}
+		scaled := make([]float64, n)
+		for i := range watts {
+			scaled[i] = watts[i] * 1.5
+		}
+		b1, err := tr.Price(watts, prices, 30)
+		if err != nil {
+			return false
+		}
+		b2, err := tr.Price(scaled, prices, 30)
+		if err != nil {
+			return false
+		}
+		return b2.EnergyDollars >= b1.EnergyDollars-1e-9 &&
+			b2.DemandDollars >= b1.DemandDollars-1e-9 &&
+			b2.PenaltyDollars >= b1.PenaltyDollars-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace replays a recorded workload series (e.g. a real web-server trace
+// such as the EPA log the paper used) as a Generator. Steps beyond the end
+// of the series wrap around, so a one-day trace drives multi-day runs.
+type Trace struct {
+	rates []float64
+}
+
+var _ Generator = (*Trace)(nil)
+
+// NewTrace wraps a rate series (req/s); at least one sample is required
+// and all samples must be nonnegative.
+func NewTrace(rates []float64) (*Trace, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("empty trace: %w", ErrBadConfig)
+	}
+	cp := make([]float64, len(rates))
+	for i, r := range rates {
+		if r < 0 {
+			return nil, fmt.Errorf("sample %d = %g: %w", i, r, ErrBadConfig)
+		}
+		cp[i] = r
+	}
+	return &Trace{rates: cp}, nil
+}
+
+// ReadTrace parses a trace from r: one rate per line, '#' comments and
+// blank lines ignored. A line may also be "timestamp,rate" (CSV), in which
+// case the last comma-separated field is used.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var rates []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		last := strings.TrimSpace(fields[len(fields)-1])
+		v, err := strconv.ParseFloat(last, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d %q: %w (%v)", line, text, ErrBadConfig, err)
+		}
+		rates = append(rates, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	return NewTrace(rates)
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.rates) }
+
+// Rate implements Generator, wrapping modulo the trace length.
+func (t *Trace) Rate(step int) float64 {
+	n := len(t.rates)
+	step %= n
+	if step < 0 {
+		step += n
+	}
+	return t.rates[step]
+}
+
+// Scaled returns a generator that multiplies every sample by factor —
+// useful for splitting one recorded trace across portals.
+func (t *Trace) Scaled(factor float64) (*Trace, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("scale factor %g: %w", factor, ErrBadConfig)
+	}
+	scaled := make([]float64, len(t.rates))
+	for i, r := range t.rates {
+		scaled[i] = factor * r
+	}
+	return NewTrace(scaled)
+}
+
+// Stats returns the min, mean and max rate of the trace.
+func (t *Trace) Stats() (min, mean, max float64) {
+	min = t.rates[0]
+	max = t.rates[0]
+	var sum float64
+	for _, r := range t.rates {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+		sum += r
+	}
+	return min, sum / float64(len(t.rates)), max
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := NewTrace([]float64{1, -2}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative: %v", err)
+	}
+}
+
+func TestTraceWrapsAndCopies(t *testing.T) {
+	src := []float64{10, 20, 30}
+	tr, err := NewTrace(src)
+	if err != nil {
+		t.Fatalf("NewTrace: %v", err)
+	}
+	src[0] = 999
+	if tr.Rate(0) != 10 {
+		t.Fatal("trace aliased input")
+	}
+	if tr.Rate(3) != 10 || tr.Rate(4) != 20 {
+		t.Fatalf("wrap: %g %g", tr.Rate(3), tr.Rate(4))
+	}
+	if tr.Rate(-1) != 30 {
+		t.Fatalf("negative wrap: %g", tr.Rate(-1))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestReadTracePlain(t *testing.T) {
+	in := "# a comment\n100\n\n200.5\n300\n"
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if tr.Len() != 3 || tr.Rate(1) != 200.5 {
+		t.Fatalf("parsed %d samples, Rate(1)=%g", tr.Len(), tr.Rate(1))
+	}
+}
+
+func TestReadTraceCSV(t *testing.T) {
+	in := "2026-07-04T00:00,abc,100\n2026-07-04T00:05,abc,150\n"
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if tr.Rate(0) != 100 || tr.Rate(1) != 150 {
+		t.Fatalf("CSV parse wrong: %g %g", tr.Rate(0), tr.Rate(1))
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("abc\n")); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("garbage: %v", err)
+	}
+	if _, err := ReadTrace(strings.NewReader("")); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestTraceScaledAndStats(t *testing.T) {
+	tr, err := NewTrace([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatalf("NewTrace: %v", err)
+	}
+	half, err := tr.Scaled(0.5)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	if half.Rate(2) != 15 {
+		t.Fatalf("Scaled rate = %g", half.Rate(2))
+	}
+	if _, err := tr.Scaled(-1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative scale: %v", err)
+	}
+	min, mean, max := tr.Stats()
+	if min != 10 || mean != 20 || max != 30 {
+		t.Fatalf("Stats = %g %g %g", min, mean, max)
+	}
+}
+
+func TestTraceAsPortalGenerator(t *testing.T) {
+	tr, err := NewTrace([]float64{1000, 2000})
+	if err != nil {
+		t.Fatalf("NewTrace: %v", err)
+	}
+	p, err := NewPortals(tr, Constant(500))
+	if err != nil {
+		t.Fatalf("NewPortals: %v", err)
+	}
+	d := p.Demands(1)
+	if d[0] != 2000 || d[1] != 500 {
+		t.Fatalf("Demands = %v", d)
+	}
+}

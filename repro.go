@@ -1,0 +1,151 @@
+// Package repro is the public API of this reproduction of "Dynamic Control
+// of Electricity Cost with Power Demand Smoothing and Peak Shaving for
+// Distributed Internet Data Centers" (Yao, Liu, He, Rahman — ICDCS 2012).
+//
+// The implementation lives in internal packages; this package re-exports
+// the surface a downstream user needs:
+//
+//   - Controller (New) — the paper's contribution: a two-time-scale MPC
+//     that minimizes electricity cost while smoothing power demand and
+//     shaving peaks against per-IDC budgets.
+//   - Topology / IDC / PaperTopology — the portal→IDC system model.
+//   - PriceModel / NewEmbeddedPrices / NewBidStackPrices — real-time
+//     electricity prices (eq. 9).
+//   - Scenario / RunScenario — closed-loop simulation against the per-step
+//     optimal baseline.
+//   - Experiments — regenerate every table and figure of the paper.
+//
+// Quickstart:
+//
+//	controller, err := repro.New(repro.Config{
+//		Topology: repro.PaperTopology(),
+//		Prices:   repro.NewEmbeddedPrices(),
+//		MPC:      repro.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+//	})
+//	...
+//	tel, err := controller.Step(demands) // one 30 s control period
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package repro
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+	"repro/internal/idc"
+	"repro/internal/price"
+	"repro/internal/sim"
+	"repro/internal/sleep"
+	"repro/internal/workload"
+)
+
+// Controller is the paper's dynamic electricity-cost controller (§IV).
+type Controller = core.Controller
+
+// Config parameterizes New.
+type Config = core.Config
+
+// Telemetry is the per-step record emitted by Controller.Step.
+type Telemetry = core.Telemetry
+
+// MPCConfig tunes the fast control loop (horizons and Q/R weights).
+type MPCConfig = ctrl.MPCConfig
+
+// SleepConfig tunes the slow server ON/OFF loop (eq. 35 plus guards).
+type SleepConfig = sleep.Config
+
+// ForecastConfig tunes the AR/RLS workload predictor (§III.D).
+type ForecastConfig = forecast.PredictorConfig
+
+// Topology is the C-portal, N-IDC system of §III.A.
+type Topology = idc.Topology
+
+// IDC describes one data center (a Table II row).
+type IDC = idc.IDC
+
+// Allocation is a portal→IDC workload assignment λ.
+type Allocation = idc.Allocation
+
+// PriceModel supplies real-time electricity prices (eq. 9).
+type PriceModel = price.Model
+
+// Region identifies an electricity-market region.
+type Region = price.Region
+
+// Scenario describes a closed-loop simulation experiment.
+type Scenario = sim.Scenario
+
+// ScenarioResult bundles the control and baseline series of a run.
+type ScenarioResult = sim.Result
+
+// Series holds one method's per-step records.
+type Series = sim.Series
+
+// AllocResult is a solution of the per-step optimal allocation (eq. 46).
+type AllocResult = alloc.Result
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// The three regions of the paper's evaluation.
+const (
+	Michigan  = price.Michigan
+	Minnesota = price.Minnesota
+	Wisconsin = price.Wisconsin
+)
+
+// New builds a Controller; see core.New.
+func New(cfg Config) (*Controller, error) { return core.New(cfg) }
+
+// NewTopology validates and builds a custom topology.
+func NewTopology(portals int, idcs []IDC) (*Topology, error) {
+	return idc.NewTopology(portals, idcs)
+}
+
+// PaperTopology returns the §V experimental setup (five portals, three
+// IDCs; see the note on M₁ in EXPERIMENTS.md).
+func PaperTopology() *Topology { return idc.PaperTopology() }
+
+// TableIDemands returns the paper's Table I portal demand vector (req/s).
+func TableIDemands() []float64 { return workload.TableI() }
+
+// NewEmbeddedPrices returns the load-independent price model over the
+// embedded Fig. 2 trace reconstructions.
+func NewEmbeddedPrices() PriceModel { return price.NewEmbeddedModel() }
+
+// NewBidStackPrices wraps the embedded traces with the bid-based stochastic
+// model: convex load coupling plus an OU disturbance.
+func NewBidStackPrices(cfg price.BidStackConfig) PriceModel {
+	return price.NewBidStackModel(price.NewEmbeddedModel(), cfg)
+}
+
+// BidStackConfig parameterizes NewBidStackPrices.
+type BidStackConfig = price.BidStackConfig
+
+// RunScenario executes a closed-loop simulation; see sim.Run.
+func RunScenario(sc Scenario) (*ScenarioResult, error) { return sim.Run(sc) }
+
+// OptimalAllocation solves the Rao-style per-step LP (eq. 46).
+func OptimalAllocation(top *Topology, prices, demands []float64) (*AllocResult, error) {
+	return alloc.Optimize(top, prices, demands)
+}
+
+// OptimalAllocationWithBudgets solves eq. (46) with per-IDC power caps, the
+// budget-aware reference optimizer behind peak shaving.
+func OptimalAllocationWithBudgets(top *Topology, prices, demands, budgets []float64) (*AllocResult, error) {
+	return alloc.OptimizeWithBudgets(top, prices, demands, budgets)
+}
+
+// BaselineAllocation is the paper's published "optimal method" behaviour:
+// price-ordered filling with peak-power accounting.
+func BaselineAllocation(top *Topology, prices, demands []float64) (*AllocResult, error) {
+	return alloc.PriceOrdered(top, prices, demands)
+}
+
+// Experiments returns every paper table/figure regenerator.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks up one experiment (e.g. "fig4").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
