@@ -1,0 +1,28 @@
+# Developer workflow for the IDC cost-control reproduction.
+#
+#   make check   — the tier-1 gate plus vet and the race detector; run this
+#                  before every push. The race pass matters: sim.Run and
+#                  experiments.RunAll spawn goroutines.
+#   make test    — fast unit tests only.
+#   make bench   — the paper-artifact benchmarks with series checksums.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem .

@@ -109,6 +109,35 @@ func BenchmarkFig6PeakShaving(b *testing.B) {
 	benchScenario(b, []float64{5.13e6, 10.26e6, 4.275e6})
 }
 
+// BenchmarkAllExperiments measures the full `idcexp -exp all` sweep on the
+// worker-pool runner at GOMAXPROCS parallelism — the wall-clock cost of
+// regenerating every paper artifact at once. The checksum covers every
+// figure series so content regressions in any experiment are visible.
+func BenchmarkAllExperiments(b *testing.B) {
+	exps := experiments.All()
+	var checksum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checksum = 0
+		for _, r := range experiments.RunAll(exps, 0) {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+			}
+			for _, f := range r.Output.Figures {
+				for _, s := range f.Series {
+					for _, v := range s.Y {
+						checksum += v
+					}
+				}
+			}
+			for _, t := range r.Output.Tables {
+				checksum += float64(len(t.Rows))
+			}
+		}
+	}
+	b.ReportMetric(checksum, "series-sum")
+}
+
 // BenchmarkAblationSmoothing sweeps the Q/R trade-off.
 func BenchmarkAblationSmoothing(b *testing.B) { benchExperiment(b, "ablation-smoothing") }
 

@@ -22,6 +22,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/alloc"
 	"repro/internal/ctrl"
@@ -126,6 +127,10 @@ type Controller struct {
 	// lastDemands is the most recent observed demand vector, kept for
 	// immediate budget changes between slow ticks.
 	lastDemands []float64
+	// pendingResolve forces a slow tick on the next Step — set when an
+	// immediate SetBudgets arrives before the controller has the state to
+	// re-solve the reference on the spot.
+	pendingResolve bool
 }
 
 // New validates the configuration and builds a controller.
@@ -211,7 +216,10 @@ func (c *Controller) Budgets() []float64 {
 // SetBudgets replaces the per-IDC power budgets at runtime — a grid
 // demand-response event. Zero entries mean unconstrained. The new budgets
 // take effect at the next slow tick; pass immediate=true to re-solve the
-// reference now so the very next fast step already tracks them.
+// reference now so the very next fast step already tracks them. When
+// immediate is requested before the first Step (no observed demand to
+// re-solve against yet), the re-solve is recorded as pending and runs at
+// the start of the next Step instead of being dropped.
 func (c *Controller) SetBudgets(budgets []float64, immediate bool) error {
 	n := c.cfg.Topology.N()
 	if len(budgets) != n {
@@ -223,15 +231,33 @@ func (c *Controller) SetBudgets(budgets []float64, immediate bool) error {
 		}
 	}
 	copy(c.budgets, budgets)
-	if immediate && c.started && c.lastDemands != nil {
-		return c.slowTick(c.hourAt(c.step), c.lastDemands)
+	if immediate {
+		if c.started && c.lastDemands != nil {
+			return c.slowTick(c.hourAt(c.step), c.lastDemands)
+		}
+		c.pendingResolve = true
 	}
 	return nil
 }
 
 // hourAt maps a step index to the price-trace hour.
 func (c *Controller) hourAt(step int) int {
-	return c.cfg.StartHour + int(float64(step)*c.cfg.Ts/3600)
+	return c.cfg.StartHour + hourOf(step, c.cfg.Ts)
+}
+
+// hourOf maps a 0-based step index at sampling period ts (seconds) to the
+// elapsed whole hours. The naive int(float64(step)*ts/3600) truncates wrong
+// at exact hour boundaries when step*ts/3600 lands an ulp below an integer
+// (e.g. ts = 36 s: 100 steps = exactly 1 h, but 100*36/3600 can evaluate to
+// 0.999…). Periods with an exact millisecond representation — every
+// practical Ts — use pure integer arithmetic; anything else gets an
+// epsilon-guarded truncation.
+func hourOf(step int, ts float64) int {
+	if ms := math.Round(ts * 1000); ms > 0 && math.Abs(ts*1000-ms) <= 1e-9*ms {
+		return int(int64(step) * int64(ms) / 3_600_000)
+	}
+	h := float64(step) * ts / 3600
+	return int(h + 1e-9*(1+math.Abs(h)))
 }
 
 // Step advances one fast-loop period with the observed portal demands and
@@ -259,7 +285,7 @@ func (c *Controller) Step(demands []float64) (*Telemetry, error) {
 		}
 	}
 
-	if !c.started || c.step%c.cfg.SlowEvery == 0 {
+	if !c.started || c.pendingResolve || c.step%c.cfg.SlowEvery == 0 {
 		if err := c.slowTick(hour, demands); err != nil {
 			return nil, err
 		}
@@ -303,11 +329,9 @@ func (c *Controller) Step(demands []float64) (*Telemetry, error) {
 	}
 	var costRate float64 // $/h
 	for j, w := range watts {
-		pr := c.prices[j]
-		if pr < 0 {
-			pr = 0
-		}
-		costRate += pr * power.WattsToMW(w)
+		// c.prices is already floored at zero by slowTick (see the
+		// negative-price policy there), so the rate is directly Σ Pr_j·P_j.
+		costRate += c.prices[j] * power.WattsToMW(w)
 	}
 	c.cumCost += costRate * c.cfg.Ts / 3600
 
@@ -353,6 +377,17 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		p, err := c.cfg.Prices.Price(top.IDC(j).Region, hour, loadMW)
 		if err != nil {
 			return fmt.Errorf("core: price for idc %d: %w", j, err)
+		}
+		// Negative-price policy: floor at zero here, at the single point
+		// where prices enter the controller. Negative spot prices would
+		// otherwise make the cost state C̄ non-monotone and send the
+		// reference LP chasing unbounded "paid to consume" allocations; a
+		// data center cannot profitably dump power, so the controller
+		// treats negative hours as free. Everything downstream — the
+		// model's A row, the reference LP, telemetry and the cost rate —
+		// sees the same floored vector.
+		if p < 0 {
+			p = 0
 		}
 		prices[j] = p
 	}
@@ -425,6 +460,7 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		c.servers = servers
 		c.started = true
 	}
+	c.pendingResolve = false
 	return nil
 }
 

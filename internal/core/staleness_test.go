@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ctrl"
+	"repro/internal/idc"
+	"repro/internal/power"
+	"repro/internal/price"
+	"repro/internal/workload"
+)
+
+// TestHourOfBoundaries pins the integer hour arithmetic at exact hour
+// boundaries for sampling periods with very different step counts per hour.
+// The naive int(float64(step)*ts/3600) fails some of these: at ts = 0.3 s,
+// 12000·0.3 evaluates to 3599.9999999999995 and the truncation reports hour
+// 0 at the exact start of hour 1.
+func TestHourOfBoundaries(t *testing.T) {
+	cases := []struct {
+		ts   float64
+		step int
+		want int
+	}{
+		// Ts = 0.9 s → 4000 steps/hour.
+		{0.9, 0, 0},
+		{0.9, 3999, 0},
+		{0.9, 4000, 1},
+		{0.9, 7999, 1},
+		{0.9, 8000, 2},
+		// Ts = 0.3 s → 12000 steps/hour (the naive-float failure case).
+		{0.3, 11999, 0},
+		{0.3, 12000, 1},
+		{0.3, 24000, 2},
+		// Ts = 36 s → 100 steps/hour.
+		{36, 99, 0},
+		{36, 100, 1},
+		{36, 199, 1},
+		{36, 200, 2},
+		// Ts = 100 s → 36 steps/hour.
+		{100, 35, 0},
+		{100, 36, 1},
+		{100, 72, 2},
+		// The defaults used across the experiments.
+		{30, 119, 0},
+		{30, 120, 1},
+		{300, 11, 0},
+		{300, 12, 1},
+		// Non-millisecond-exact period (3600/7 s → 7 steps/hour) exercises
+		// the epsilon-guarded float fallback.
+		{3600.0 / 7, 6, 0},
+		{3600.0 / 7, 7, 1},
+		{3600.0 / 7, 14, 2},
+	}
+	for _, c := range cases {
+		if got := hourOf(c.step, c.ts); got != c.want {
+			t.Errorf("hourOf(%d, %g) = %d, want %d", c.step, c.ts, got, c.want)
+		}
+	}
+}
+
+// negPriceModel serves ordinary prices at hour 6 and a trace with one
+// negative region from hour 7 on — a real occurrence in wind-heavy markets.
+type negPriceModel struct{}
+
+func (negPriceModel) Price(r price.Region, h int, _ float64) (float64, error) {
+	t6 := map[price.Region]float64{price.Michigan: 43.26, price.Minnesota: 30.26, price.Wisconsin: 19.06}
+	t7 := map[price.Region]float64{price.Michigan: 49.90, price.Minnesota: -12.50, price.Wisconsin: 77.97}
+	src := t6
+	if h >= 7 {
+		src = t7
+	}
+	p, ok := src[r]
+	if !ok {
+		return 0, price.ErrUnknownRegion
+	}
+	return p, nil
+}
+
+// TestNegativePricePolicy pins the unified policy: negative spot prices are
+// floored to zero at the single slow-tick entry point, so the model, the
+// reference LP, telemetry and the cost rate all see the same vector.
+func TestNegativePricePolicy(t *testing.T) {
+	cfg := Config{
+		Topology:  idc.PaperTopology(),
+		Prices:    negPriceModel{},
+		Ts:        900, // 4 steps per hour: the negative hour arrives fast
+		SlowEvery: 1,
+		StartHour: 6,
+		MPC:       ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 2},
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	demands := workload.TableI()
+	sawNegativeHour := false
+	var prevCum float64
+	for k := 0; k < 8; k++ {
+		tel, err := c.Step(demands)
+		if err != nil {
+			t.Fatalf("Step %d: %v", k, err)
+		}
+		for j, p := range tel.Prices {
+			if p < 0 {
+				t.Fatalf("step %d: telemetry price[%d] = %g escaped the floor", k, j, p)
+			}
+		}
+		if tel.Hour >= 7 {
+			sawNegativeHour = true
+			if tel.Prices[1] != 0 {
+				t.Fatalf("step %d: negative region price = %g, want floored 0", k, tel.Prices[1])
+			}
+		}
+		// The cost rate must be the floored Σ Pr_j·P_j — no second clamp.
+		var want float64
+		for j, w := range tel.PowerWatts {
+			want += tel.Prices[j] * power.WattsToMW(w)
+		}
+		if tel.CostRate != want {
+			t.Fatalf("step %d: cost rate %g != Σ floored-price·power %g", k, tel.CostRate, want)
+		}
+		if tel.CumulativeCost < prevCum {
+			t.Fatalf("step %d: cumulative cost decreased (%g → %g)", k, prevCum, tel.CumulativeCost)
+		}
+		prevCum = tel.CumulativeCost
+	}
+	if !sawNegativeHour {
+		t.Fatalf("scenario never reached the negative-price hour")
+	}
+	// The model's A row must have been built from the same floored vector.
+	for j, p := range c.model.Prices() {
+		if p < 0 {
+			t.Fatalf("model price[%d] = %g: raw negative price leaked into A", j, p)
+		}
+		if p != c.prices[j] {
+			t.Fatalf("model price[%d] = %g differs from controller price %g", j, p, c.prices[j])
+		}
+	}
+}
+
+// TestSetBudgetsImmediateBeforeStart pins the fix for the silently dropped
+// re-solve: an immediate budget change before the first Step is recorded as
+// pending and honored by the very first fast step's reference.
+func TestSetBudgetsImmediateBeforeStart(t *testing.T) {
+	cfg := baseConfig()
+	cfg.StartHour = 6
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	budgets := []float64{5.13e6, 10.26e6, 4.275e6}
+	if err := c.SetBudgets(budgets, true); err != nil {
+		t.Fatalf("SetBudgets: %v", err)
+	}
+	if !c.pendingResolve {
+		t.Fatalf("immediate pre-start SetBudgets did not record a pending re-solve")
+	}
+	tel, err := c.Step(workload.TableI())
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if c.pendingResolve {
+		t.Fatalf("pending re-solve not cleared by the slow tick")
+	}
+	for j, b := range budgets {
+		if b > 0 && tel.RefPowerWatts[j] > b*(1+1e-9) {
+			t.Fatalf("idc %d: first-step reference %g exceeds budget %g", j, tel.RefPowerWatts[j], b)
+		}
+		if tel.BudgetWatts[j] != b {
+			t.Fatalf("idc %d: telemetry budget %g, want %g", j, tel.BudgetWatts[j], b)
+		}
+	}
+}

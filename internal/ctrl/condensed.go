@@ -1,0 +1,213 @@
+package ctrl
+
+import (
+	"repro/internal/mat"
+	"repro/internal/qp"
+)
+
+// condensed caches everything about the MPC problem (42)–(45) that depends
+// only on the model and the controller configuration: the Φ power chain,
+// the cumG/cumPhi prefix sums, the condensed prediction matrix Θ, the
+// stacked row and move weights, the structural constraint matrices and the
+// lowered QP Hessian, plus a qp.Workspace carrying the solver's cross-solve
+// caches (Cholesky factor of H, H⁻¹aᵢ columns, Schur products,
+// Gram–Schmidt prune state).
+//
+// The paper's two-time-scale design (§IV) makes this worthwhile: the
+// discretized model changes only at slow ticks (hourly price updates), yet
+// the fast loop re-solves every Ts seconds — ~120 identical rebuilds per
+// price hour at Ts = 30 s without the cache. A condensed is valid for
+// exactly one (Model pointer, Model version) pair; MPC.Step rebuilds it
+// when either changes. Every cached value is produced by the same
+// arithmetic the uncached path runs, so cached and uncached solves are
+// bit-identical.
+type condensed struct {
+	model   *Model
+	version uint64
+
+	// Prediction chain: phiPow[s] = Φ^s (s = 0…β1),
+	// cumG[s] = Σ_{t=0}^{s} Φ^t·G and cumPhi[s] = Σ_{t=0}^{s} Φ^t
+	// (s = 0…β1−1).
+	phiPow []*mat.Dense
+	cumG   []*mat.Dense
+	cumPhi []*mat.Dense
+	// theta is the condensed prediction matrix with
+	// Θ_{s,r} = cumG[s−1−r] for r < min(s, β2).
+	theta *mat.Dense
+
+	// wq/wr are the stacked tracking and move weights of the lowered
+	// least-squares problem; form caches its Hessian 2(ΘᵀWqΘ + Wr).
+	wq   []float64
+	wr   []float64
+	form *qp.LSForm
+
+	// consH/psi are the structural (0/1) conservation and latency matrices;
+	// aeq/ain are their block-stacked horizon versions. Demands, server
+	// counts and U(k−1) only enter the right-hand sides, which Step
+	// rebuilds every call.
+	consH *mat.Dense
+	psi   *mat.Dense
+	aeq   *mat.Dense
+	ain   *mat.Dense
+
+	// ws carries the QP solver's cross-solve caches; valid exactly as long
+	// as this condensed is (fixed H, aeq, ain).
+	ws *qp.Workspace
+}
+
+// newCondensed builds the cache for one model+configuration pair. The
+// construction is the exact code the uncached MPC.Step ran inline, moved
+// here so the fast loop can reuse it. (The intermediate phiG[t] = Φ^t·G
+// terms exist only during construction — they fold into cumG and are not
+// retained.)
+func newCondensed(model *Model, cfg MPCConfig) (*condensed, error) {
+	top := model.Topology()
+	ns := model.StateDim()
+	nu := model.InputDim()
+	b1, b2 := cfg.PredHorizon, cfg.CtrlHorizon
+
+	// Powers of Φ: phiPow[s] = Φ^s, s = 0…β1.
+	phiPow := make([]*mat.Dense, b1+1)
+	phiPow[0] = mat.Identity(ns)
+	for s := 1; s <= b1; s++ {
+		p, err := mat.Mul(phiPow[s-1], model.Phi)
+		if err != nil {
+			return nil, err
+		}
+		phiPow[s] = p
+	}
+	// phiG[t] = Φ^t·G feeding cumG[s] = Σ_{t=0}^{s} Φ^t·G (s = 0…β1−1).
+	phiG := make([]*mat.Dense, b1)
+	for t := 0; t < b1; t++ {
+		g, err := mat.Mul(phiPow[t], model.G)
+		if err != nil {
+			return nil, err
+		}
+		phiG[t] = g
+	}
+	cumG := make([]*mat.Dense, b1)
+	cumG[0] = phiG[0]
+	for s := 1; s < b1; s++ {
+		c, err := mat.Add(cumG[s-1], phiG[s])
+		if err != nil {
+			return nil, err
+		}
+		cumG[s] = c
+	}
+	// cumPhi[s] = Σ_{t=0}^{s} Φ^t (s = 0…β1−1) for the disturbance term.
+	cumPhi := make([]*mat.Dense, b1)
+	cumPhi[0] = phiPow[0]
+	for s := 1; s < b1; s++ {
+		c, err := mat.Add(cumPhi[s-1], phiPow[s])
+		if err != nil {
+			return nil, err
+		}
+		cumPhi[s] = c
+	}
+
+	// Condensed prediction over z = (ΔU_0 … ΔU_{β2−1}):
+	//   X(k+s) = Φ^s X + Ξ_s U(k−1) + Ω_s + Θ_{s,r} z
+	// with Ξ_s = cumG[s−1], Ω_s = cumPhi[s−1]·Γ·V and
+	// Θ_{s,r} = Σ_{t=r}^{s−1} Φ^{s−1−t} G = cumG[s−1−r] for r < min(s, β2).
+	theta := mat.Zeros(ns*b1, nu*b2)
+	for s := 1; s <= b1; s++ {
+		for r := 0; r < b2 && r < s; r++ {
+			theta.SetBlock((s-1)*ns, r*nu, cumG[s-1-r])
+		}
+	}
+
+	// Row weights: CostWeight on C̄ rows, PowerWeight on E rows.
+	wq := make([]float64, ns*b1)
+	for s := 0; s < b1; s++ {
+		wq[s*ns] = cfg.CostWeight
+		for j := 0; j < top.N(); j++ {
+			wq[s*ns+1+j] = cfg.PowerWeight
+		}
+	}
+	// SmoothWeight is normalized against the horizon's tracking pressure.
+	// For a power error e held over the prediction horizon, the tracking
+	// cost accumulates like Σ_{s=1}^{β1} (s·Ts·e)², so the R penalty on
+	// ΔU_{ij} is SmoothWeight·(b_j·Ts)²·Σs² with b_j the model's effective
+	// power gain. A first-order analysis then gives "fraction of the
+	// remaining reference gap closed per step ≈ 1/(1+SmoothWeight)",
+	// independent of request-rate, wattage and horizon scales.
+	//
+	// A ridge floor relative to the tracking Hessian's diagonal keeps the
+	// condensed Hessian positive definite even with SmoothWeight 0 (Θ has
+	// ns·β1 rows against nu·β2 columns, so the tracking term alone is
+	// rank-deficient); 1e-7 relative shifts the solution negligibly while
+	// keeping the KKT systems well conditioned.
+	ts := model.Ts()
+	var maxDiag float64
+	for col := 0; col < nu*b2; col++ {
+		var diag float64
+		for row := 0; row < ns*b1; row++ {
+			v := theta.At(row, col)
+			diag += wq[row] * v * v
+		}
+		if diag > maxDiag {
+			maxDiag = diag
+		}
+	}
+	ridgeFloor := 1e-7 * maxDiag
+	var sumS2 float64
+	for s := 1; s <= b1; s++ {
+		sumS2 += float64(s) * float64(s)
+	}
+	wr := make([]float64, nu*b2)
+	for r := 0; r < b2; r++ {
+		for j := 0; j < top.N(); j++ {
+			scale := model.B.At(1+j, top.Index(0, j)) * ts
+			w := cfg.SmoothWeight*scale*scale*sumS2*cfg.PowerWeight + ridgeFloor
+			for i := 0; i < top.C(); i++ {
+				wr[r*nu+top.Index(i, j)] = w
+			}
+		}
+	}
+
+	form, err := qp.NewLSForm(theta, wq, wr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Constraint structure of (43)–(45): constraint blocks at step s touch
+	// ΔU_0 … ΔU_s. H and Ψ are 0/1 structural matrices — demands, server
+	// counts and U(k−1) enter only the right-hand sides.
+	consH := top.ConservationMatrix()
+	psi := top.LatencyMatrix()
+	c := top.C()
+	n := top.N()
+	aeq := mat.Zeros(c*b2, nu*b2)
+	ain := mat.Zeros((n+nu)*b2, nu*b2)
+	for s := 0; s < b2; s++ {
+		for r := 0; r <= s; r++ {
+			aeq.SetBlock(s*c, r*nu, consH)
+			ain.SetBlock(s*n, r*nu, psi)
+			for i := 0; i < nu; i++ {
+				ain.Set(b2*n+s*nu+i, r*nu+i, -1)
+			}
+		}
+	}
+
+	return &condensed{
+		model:   model,
+		version: model.Version(),
+		phiPow:  phiPow,
+		cumG:    cumG,
+		cumPhi:  cumPhi,
+		theta:   theta,
+		wq:      wq,
+		wr:      wr,
+		form:    form,
+		consH:   consH,
+		psi:     psi,
+		aeq:     aeq,
+		ain:     ain,
+		ws:      qp.NewWorkspace(),
+	}, nil
+}
+
+// valid reports whether the cache still matches the given model.
+func (cd *condensed) valid(model *Model) bool {
+	return cd != nil && cd.model == model && cd.version == model.Version()
+}

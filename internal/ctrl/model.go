@@ -18,6 +18,7 @@ package ctrl
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/idc"
 	"repro/internal/mat"
@@ -26,14 +27,21 @@ import (
 // ErrBadModel is returned for invalid model construction inputs.
 var ErrBadModel = errors.New("ctrl: invalid model input")
 
+// modelVersions issues a process-unique version to every constructed Model,
+// so caches keyed on (pointer, version) stay exact even if the allocator
+// reuses a freed Model's address.
+var modelVersions atomic.Uint64
+
 // Model is the discretized state-space system for one price vector.
 // Prices enter the A matrix, so the model is rebuilt whenever the
-// real-time price changes (once per slow-loop tick).
+// real-time price changes (once per slow-loop tick); each rebuild gets a
+// fresh Version, which is what invalidates MPC condensed-matrix caches.
 type Model struct {
-	top    *idc.Topology
-	prices []float64
-	ts     float64
-	folded bool
+	top     *idc.Topology
+	prices  []float64
+	ts      float64
+	folded  bool
+	version uint64
 
 	// Continuous-time matrices (eqs. 19–20).
 	A *mat.Dense // (N+1)×(N+1)
@@ -86,15 +94,16 @@ func NewModel(top *idc.Topology, prices []float64, ts float64) (*Model, error) {
 	pr := make([]float64, len(prices))
 	copy(pr, prices)
 	return &Model{
-		top:    top,
-		prices: pr,
-		ts:     ts,
-		A:      a,
-		B:      b,
-		F:      f,
-		Phi:    phi,
-		G:      gAll.Slice(0, ns, 0, top.NU()),
-		Gamma:  gAll.Slice(0, ns, top.NU(), top.NU()+n),
+		top:     top,
+		prices:  pr,
+		ts:      ts,
+		version: modelVersions.Add(1),
+		A:       a,
+		B:       b,
+		F:       f,
+		Phi:     phi,
+		G:       gAll.Slice(0, ns, 0, top.NU()),
+		Gamma:   gAll.Slice(0, ns, top.NU(), top.NU()+n),
 	}, nil
 }
 
@@ -103,6 +112,12 @@ func (m *Model) Topology() *idc.Topology { return m.top }
 
 // Ts returns the sampling period in seconds.
 func (m *Model) Ts() float64 { return m.ts }
+
+// Version returns the model's process-unique construction version. Every
+// NewModel/NewFoldedModel call — including the slow-loop rebuild in
+// core.Controller — yields a new version, giving cache layers an exact
+// invalidation signal.
+func (m *Model) Version() uint64 { return m.version }
 
 // Prices returns a copy of the prices baked into A.
 func (m *Model) Prices() []float64 {
@@ -250,16 +265,17 @@ func NewFoldedModel(top *idc.Topology, prices []float64, ts float64) (*Model, er
 	pr := make([]float64, len(prices))
 	copy(pr, prices)
 	return &Model{
-		top:    top,
-		prices: pr,
-		ts:     ts,
-		folded: true,
-		A:      a,
-		B:      b,
-		F:      f,
-		Phi:    phi,
-		G:      gAll.Slice(0, ns, 0, top.NU()),
-		Gamma:  gAll.Slice(0, ns, top.NU(), top.NU()+n),
+		top:     top,
+		prices:  pr,
+		ts:      ts,
+		folded:  true,
+		version: modelVersions.Add(1),
+		A:       a,
+		B:       b,
+		F:       f,
+		Phi:     phi,
+		G:       gAll.Slice(0, ns, 0, top.NU()),
+		Gamma:   gAll.Slice(0, ns, top.NU(), top.NU()+n),
 	}, nil
 }
 

@@ -65,8 +65,19 @@ type MPC struct {
 	// prevZ caches the previous solve's move plan for warm-starting: the
 	// plan shifted one step left is usually feasible for the next problem
 	// and close to its optimum, cutting active-set iterations during
-	// transitions.
+	// transitions. It is only meaningful for the model (and hence reference
+	// regime) it was planned under, so Step discards it whenever the model
+	// identity changes.
 	prevZ []float64
+	// cache holds the condensed matrices for the current model; lastModel/
+	// lastVersion track the model identity the controller state (cache and
+	// prevZ alike) belongs to.
+	cache       *condensed
+	lastModel   *Model
+	lastVersion uint64
+	// nocache forces a fresh condensed build every Step (testing hook used
+	// to prove cached and uncached paths are bit-identical).
+	nocache bool
 }
 
 // NewMPC validates the configuration and returns a controller.
@@ -79,6 +90,17 @@ func NewMPC(cfg MPCConfig) (*MPC, error) {
 
 // Config returns the resolved configuration.
 func (m *MPC) Config() MPCConfig { return m.cfg }
+
+// Reset discards all state carried between steps: the warm-start plan and
+// the condensed-matrix cache. Call it when the controlled plant jumps in a
+// way no model rebuild announces (model rebuilds themselves are detected
+// automatically via the model's pointer and Version).
+func (m *MPC) Reset() {
+	m.prevZ = nil
+	m.cache = nil
+	m.lastModel = nil
+	m.lastVersion = 0
+}
 
 // StepInput carries everything one control step needs. The model is passed
 // per step because prices (and hence A) change between slow-loop ticks.
@@ -121,6 +143,30 @@ type StepOutput struct {
 	QPIterations int
 }
 
+// condensedFor returns the condensed matrices for the current model,
+// reusing the cache while the model identity is unchanged. It also owns the
+// staleness handling: a model change invalidates the warm-start plan, which
+// was computed against the old model's predictions and reference regime.
+func (m *MPC) condensedFor(model *Model) (*condensed, error) {
+	if model != m.lastModel || model.Version() != m.lastVersion {
+		m.prevZ = nil
+		m.cache = nil
+		m.lastModel = model
+		m.lastVersion = model.Version()
+	}
+	if m.cache.valid(model) && !m.nocache {
+		return m.cache, nil
+	}
+	cd, err := newCondensed(model, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !m.nocache {
+		m.cache = cd
+	}
+	return cd, nil
+}
+
 // Step solves the condensed MPC problem and returns the first move.
 func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	if err := m.validate(in); err != nil {
@@ -132,55 +178,9 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	nu := model.InputDim()
 	b1, b2 := m.cfg.PredHorizon, m.cfg.CtrlHorizon
 
-	// Powers of Φ: phiPow[s] = Φ^s, s = 0…β1.
-	phiPow := make([]*mat.Dense, b1+1)
-	phiPow[0] = mat.Identity(ns)
-	for s := 1; s <= b1; s++ {
-		p, err := mat.Mul(phiPow[s-1], model.Phi)
-		if err != nil {
-			return nil, err
-		}
-		phiPow[s] = p
-	}
-	// phiG[t] = Φ^t·G and phiGamSum[s] = Σ_{t=0}^{s−1} Φ^t (for G·U and Γ·V).
-	phiG := make([]*mat.Dense, b1)
-	for t := 0; t < b1; t++ {
-		g, err := mat.Mul(phiPow[t], model.G)
-		if err != nil {
-			return nil, err
-		}
-		phiG[t] = g
-	}
-	// cumG[s] = Σ_{t=0}^{s} Φ^t·G  (s = 0…β1−1).
-	cumG := make([]*mat.Dense, b1)
-	cumG[0] = phiG[0]
-	for s := 1; s < b1; s++ {
-		c, err := mat.Add(cumG[s-1], phiG[s])
-		if err != nil {
-			return nil, err
-		}
-		cumG[s] = c
-	}
-	// cumPhi[s] = Σ_{t=0}^{s} Φ^t (s = 0…β1−1) for the disturbance term.
-	cumPhi := make([]*mat.Dense, b1)
-	cumPhi[0] = phiPow[0]
-	for s := 1; s < b1; s++ {
-		c, err := mat.Add(cumPhi[s-1], phiPow[s])
-		if err != nil {
-			return nil, err
-		}
-		cumPhi[s] = c
-	}
-
-	// Condensed prediction over z = (ΔU_0 … ΔU_{β2−1}):
-	//   X(k+s) = Φ^s X + Ξ_s U(k−1) + Ω_s + Θ_{s,r} z
-	// with Ξ_s = cumG[s−1], Ω_s = cumPhi[s−1]·Γ·V and
-	// Θ_{s,r} = Σ_{t=r}^{s−1} Φ^{s−1−t} G = cumG[s−1−r] for r < min(s, β2).
-	theta := mat.Zeros(ns*b1, nu*b2)
-	for s := 1; s <= b1; s++ {
-		for r := 0; r < b2 && r < s; r++ {
-			theta.SetBlock((s-1)*ns, r*nu, cumG[s-1-r])
-		}
+	cd, err := m.condensedFor(model)
+	if err != nil {
+		return nil, err
 	}
 
 	gamV, err := mat.MulVec(model.Gamma, model.DisturbanceVec(in.Servers))
@@ -214,15 +214,15 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	copy(refEnergy, in.State[1:])
 	refCost := in.State[0]
 	for s := 1; s <= b1; s++ {
-		free, err := mat.MulVec(phiPow[s], in.State)
+		free, err := mat.MulVec(cd.phiPow[s], in.State)
 		if err != nil {
 			return nil, err
 		}
-		xiU, err := mat.MulVec(cumG[s-1], in.PrevU)
+		xiU, err := mat.MulVec(cd.cumG[s-1], in.PrevU)
 		if err != nil {
 			return nil, err
 		}
-		omega, err := mat.MulVec(cumPhi[s-1], gamV)
+		omega, err := mat.MulVec(cd.cumPhi[s-1], gamV)
 		if err != nil {
 			return nil, err
 		}
@@ -242,65 +242,17 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 		}
 	}
 
-	// Row weights: CostWeight on C̄ rows, PowerWeight on E rows.
-	wq := make([]float64, ns*b1)
-	for s := 0; s < b1; s++ {
-		wq[s*ns] = m.cfg.CostWeight
-		for j := 0; j < top.N(); j++ {
-			wq[s*ns+1+j] = m.cfg.PowerWeight
-		}
-	}
-	// SmoothWeight is normalized against the horizon's tracking pressure.
-	// For a power error e held over the prediction horizon, the tracking
-	// cost accumulates like Σ_{s=1}^{β1} (s·Ts·e)², so the R penalty on
-	// ΔU_{ij} is SmoothWeight·(b_j·Ts)²·Σs² with b_j the model's effective
-	// power gain. A first-order analysis then gives "fraction of the
-	// remaining reference gap closed per step ≈ 1/(1+SmoothWeight)",
-	// independent of request-rate, wattage and horizon scales.
-	//
-	// A ridge floor relative to the tracking Hessian's diagonal keeps the
-	// condensed Hessian positive definite even with SmoothWeight 0 (Θ has
-	// ns·β1 rows against nu·β2 columns, so the tracking term alone is
-	// rank-deficient); 1e-7 relative shifts the solution negligibly while
-	// keeping the KKT systems well conditioned.
-	var maxDiag float64
-	for col := 0; col < nu*b2; col++ {
-		var diag float64
-		for row := 0; row < ns*b1; row++ {
-			v := theta.At(row, col)
-			diag += wq[row] * v * v
-		}
-		if diag > maxDiag {
-			maxDiag = diag
-		}
-	}
-	ridgeFloor := 1e-7 * maxDiag
-	var sumS2 float64
-	for s := 1; s <= b1; s++ {
-		sumS2 += float64(s) * float64(s)
-	}
-	wr := make([]float64, nu*b2)
-	for r := 0; r < b2; r++ {
-		for j := 0; j < top.N(); j++ {
-			scale := model.B.At(1+j, top.Index(0, j)) * ts
-			w := m.cfg.SmoothWeight*scale*scale*sumS2*m.cfg.PowerWeight + ridgeFloor
-			for i := 0; i < top.C(); i++ {
-				wr[r*nu+top.Index(i, j)] = w
-			}
-		}
-	}
-
-	aeq, beq, ain, bin, err := m.constraints(in)
+	beq, bin, err := m.constraintRHS(cd, in)
 	if err != nil {
 		return nil, err
 	}
 
-	res, err := qp.SolveLS(&qp.LSProblem{
-		M: theta, D: d, Wq: wq, Wr: wr,
-		Aeq: aeq, Beq: beq,
-		Ain: ain, Bin: bin,
-		X0: m.warmStart(nu, b2, aeq, beq, ain, bin),
-	})
+	res, err := qp.SolveLSWith(&qp.LSProblem{
+		M: cd.theta, D: d, Wq: cd.wq, Wr: cd.wr,
+		Aeq: cd.aeq, Beq: beq,
+		Ain: cd.ain, Bin: bin,
+		X0: m.warmStart(nu, b2, cd.aeq, beq, cd.ain, bin),
+	}, cd.form, cd.ws)
 	if err != nil {
 		if errors.Is(err, qp.ErrInfeasible) {
 			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
@@ -315,21 +267,21 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	clampNonnegative(u, 1e-7*(1+mat.NormInfVec(u)))
 
 	// Predicted trajectory under the planned z.
-	thz, err := mat.MulVec(theta, res.X)
+	thz, err := mat.MulVec(cd.theta, res.X)
 	if err != nil {
 		return nil, err
 	}
 	preds := make([][]float64, b1)
 	for s := 1; s <= b1; s++ {
-		free, err := mat.MulVec(phiPow[s], in.State)
+		free, err := mat.MulVec(cd.phiPow[s], in.State)
 		if err != nil {
 			return nil, err
 		}
-		xiU, err := mat.MulVec(cumG[s-1], in.PrevU)
+		xiU, err := mat.MulVec(cd.cumG[s-1], in.PrevU)
 		if err != nil {
 			return nil, err
 		}
-		omega, err := mat.MulVec(cumPhi[s-1], gamV)
+		omega, err := mat.MulVec(cd.cumPhi[s-1], gamV)
 		if err != nil {
 			return nil, err
 		}
@@ -416,49 +368,36 @@ func (m *MPC) validate(in StepInput) error {
 	return nil
 }
 
-// constraints builds (43)–(45) over z: per-step conservation equalities,
-// latency caps, and nonnegativity of the cumulated allocation
-// U(k+s) = U(k−1) + Σ_{r≤s} ΔU_r.
-func (m *MPC) constraints(in StepInput) (aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64, err error) {
+// constraintRHS builds the right-hand sides of (43)–(45) over z: per-step
+// conservation equalities, latency caps, and nonnegativity of the cumulated
+// allocation U(k+s) = U(k−1) + Σ_{r≤s} ΔU_r. The matrices themselves are
+// structural and live in the condensed cache; only demands, server counts
+// and U(k−1) vary per step.
+func (m *MPC) constraintRHS(cd *condensed, in StepInput) (beq, bin []float64, err error) {
 	top := in.Model.Topology()
 	nu := in.Model.InputDim()
 	b2 := m.cfg.CtrlHorizon
-
-	consH, consRHS, err := top.Conservation(in.Demands)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	psi, phi, err := top.LatencyCaps(in.Model.CapServers(in.Servers))
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
 	c := top.C()
 	n := top.N()
 
-	hPrev, err := mat.MulVec(consH, in.PrevU)
+	phi, err := top.LatencyRHS(in.Model.CapServers(in.Servers))
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
-	psiPrev, err := mat.MulVec(psi, in.PrevU)
+	hPrev, err := mat.MulVec(cd.consH, in.PrevU)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
+	}
+	psiPrev, err := mat.MulVec(cd.psi, in.PrevU)
+	if err != nil {
+		return nil, nil, err
 	}
 
-	aeq = mat.Zeros(c*b2, nu*b2)
 	beq = make([]float64, c*b2)
-	ain = mat.Zeros((n+nu)*b2, nu*b2)
 	bin = make([]float64, (n+nu)*b2)
 	for s := 0; s < b2; s++ {
-		// Prefix structure: constraint at step s touches ΔU_0 … ΔU_s.
-		for r := 0; r <= s; r++ {
-			aeq.SetBlock(s*c, r*nu, consH)
-			ain.SetBlock(s*n, r*nu, psi)
-			for i := 0; i < nu; i++ {
-				ain.Set(b2*n+s*nu+i, r*nu+i, -1)
-			}
-		}
 		for i := 0; i < c; i++ {
-			beq[s*c+i] = consRHS[i] - hPrev[i]
+			beq[s*c+i] = in.Demands[i] - hPrev[i]
 		}
 		for j := 0; j < n; j++ {
 			bin[s*n+j] = phi[j] - psiPrev[j]
@@ -467,7 +406,7 @@ func (m *MPC) constraints(in StepInput) (aeq *mat.Dense, beq []float64, ain *mat
 			bin[b2*n+s*nu+i] = in.PrevU[i]
 		}
 	}
-	return aeq, beq, ain, bin, nil
+	return beq, bin, nil
 }
 
 // clampNonnegative zeroes small negative entries left by QP round-off so a

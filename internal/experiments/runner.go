@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunResult pairs an experiment with its outcome.
+type RunResult struct {
+	Experiment Experiment
+	Output     *Output
+	Err        error
+}
+
+// RunAll executes the given experiments on a bounded worker pool and
+// returns their results in input order. workers ≤ 0 selects
+// runtime.GOMAXPROCS(0). Every experiment runs regardless of other
+// experiments' failures; per-experiment errors land in the corresponding
+// RunResult.
+//
+// Each experiment owns its scenario state, so they are safe to run
+// concurrently; the two figure pairs that share an expensive scenario run
+// (fig4/fig5 and fig6/fig7) coordinate through sync.Once and compute it
+// exactly once no matter which worker gets there first. Outputs are
+// deterministic: a pool of 1 and a pool of N produce identical results.
+func RunAll(exps []Experiment, workers int) []RunResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]RunResult, len(exps))
+	if len(exps) == 0 {
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out, err := exps[i].Run()
+				results[i] = RunResult{Experiment: exps[i], Output: out, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// runnerSubset picks experiments that together exercise static tables,
+// price/forecast figures, a shared-scenario figure pair and the closed-loop
+// daily/billing runs — enough surface to catch any ordering or sharing bug
+// in the pool, while staying much cheaper than running all 14 twice.
+func runnerSubset(t *testing.T) []Experiment {
+	t.Helper()
+	ids := []string{"table1", "table3", "fig2", "fig3", "fig4", "fig5", "billing", "daily"}
+	exps := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+// stripFuncs drops the (incomparable) Run closure so results can be
+// compared with reflect.DeepEqual.
+func stripFuncs(rs []RunResult) []RunResult {
+	out := make([]RunResult, len(rs))
+	for i, r := range rs {
+		r.Experiment.Run = nil
+		out[i] = r
+	}
+	return out
+}
+
+// TestRunAllMatchesSequential pins the parallel runner's determinism: a
+// worker pool of 4 must produce exactly the outputs of a pool of 1, in the
+// same (input) order.
+func TestRunAllMatchesSequential(t *testing.T) {
+	exps := runnerSubset(t)
+	seq := RunAll(exps, 1)
+	par := RunAll(exps, 4)
+	for i, r := range seq {
+		if r.Err != nil {
+			t.Fatalf("sequential %s: %v", r.Experiment.ID, r.Err)
+		}
+		if par[i].Err != nil {
+			t.Fatalf("parallel %s: %v", par[i].Experiment.ID, par[i].Err)
+		}
+		if par[i].Experiment.ID != r.Experiment.ID {
+			t.Fatalf("result %d: order diverged (%s vs %s)", i, r.Experiment.ID, par[i].Experiment.ID)
+		}
+	}
+	if !reflect.DeepEqual(stripFuncs(seq), stripFuncs(par)) {
+		t.Fatalf("parallel outputs differ from sequential outputs")
+	}
+}
+
+// TestRunAllPropagatesPerExperimentErrors verifies failures are isolated to
+// their slot and do not stop the pool.
+func TestRunAllPropagatesPerExperimentErrors(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		{ID: "ok1", Run: func() (*Output, error) { return &Output{Notes: []string{"a"}}, nil }},
+		{ID: "bad", Run: func() (*Output, error) { return nil, boom }},
+		{ID: "ok2", Run: func() (*Output, error) { return &Output{Notes: []string{"b"}}, nil }},
+	}
+	rs := RunAll(exps, 2)
+	if rs[0].Err != nil || rs[2].Err != nil {
+		t.Fatalf("healthy experiments reported errors: %v, %v", rs[0].Err, rs[2].Err)
+	}
+	if !errors.Is(rs[1].Err, boom) {
+		t.Fatalf("failing experiment error = %v, want %v", rs[1].Err, boom)
+	}
+	if rs[0].Output.Notes[0] != "a" || rs[2].Output.Notes[0] != "b" {
+		t.Fatalf("outputs landed in the wrong slots")
+	}
+}
+
+// TestRunAllEmptyAndOversizedPool covers the worker-count edge cases.
+func TestRunAllEmptyAndOversizedPool(t *testing.T) {
+	if got := RunAll(nil, 8); len(got) != 0 {
+		t.Fatalf("RunAll(nil) returned %d results", len(got))
+	}
+	one := []Experiment{{ID: "solo", Run: func() (*Output, error) { return &Output{}, nil }}}
+	rs := RunAll(one, 16) // more workers than jobs
+	if len(rs) != 1 || rs[0].Err != nil || rs[0].Output == nil {
+		t.Fatalf("oversized pool mishandled a single job: %+v", rs)
+	}
+}

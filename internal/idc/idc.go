@@ -152,43 +152,71 @@ func (t *Topology) Feasible(demands []float64) bool {
 	return queueing.Feasible(total, t.Capacities())
 }
 
-// Conservation builds the workload-conservation equalities of eqs. (26)–(29):
-// H·U = h where row i sums portal i's allocation across IDCs to demand L_i.
-func (t *Topology) Conservation(demands []float64) (*mat.Dense, []float64, error) {
-	if len(demands) != t.portals {
-		return nil, nil, fmt.Errorf("%d demands for %d portals: %w", len(demands), t.portals, ErrBadTopology)
-	}
+// ConservationMatrix builds the H of the workload-conservation equalities
+// H·U = L (eqs. 26–29): row i sums portal i's allocation across IDCs. The
+// matrix is purely structural (0/1 per the topology) — demands enter only
+// the right-hand side — so callers may build it once and reuse it.
+func (t *Topology) ConservationMatrix() *mat.Dense {
 	h := mat.Zeros(t.portals, t.NU())
 	for i := 0; i < t.portals; i++ {
 		for j := 0; j < len(t.idcs); j++ {
 			h.Set(i, t.Index(i, j), 1)
 		}
 	}
+	return h
+}
+
+// Conservation builds the workload-conservation equalities of eqs. (26)–(29):
+// H·U = h where row i sums portal i's allocation across IDCs to demand L_i.
+func (t *Topology) Conservation(demands []float64) (*mat.Dense, []float64, error) {
+	if len(demands) != t.portals {
+		return nil, nil, fmt.Errorf("%d demands for %d portals: %w", len(demands), t.portals, ErrBadTopology)
+	}
 	rhs := make([]float64, t.portals)
 	copy(rhs, demands)
-	return h, rhs, nil
+	return t.ConservationMatrix(), rhs, nil
+}
+
+// LatencyMatrix builds the Ψ of the latency/capacity inequalities Ψ·U ≤ φ
+// (eqs. 30–33): row j sums IDC j's received workload. Like the conservation
+// H it is purely structural; the server counts enter only the right-hand
+// side (see LatencyRHS).
+func (t *Topology) LatencyMatrix() *mat.Dense {
+	psi := mat.Zeros(len(t.idcs), t.NU())
+	for j := range t.idcs {
+		for i := 0; i < t.portals; i++ {
+			psi.Set(j, t.Index(i, j), 1)
+		}
+	}
+	return psi
+}
+
+// LatencyRHS builds the φ of Ψ·U ≤ φ: φ_j = µ_j·m_j − 1/D_j for the given
+// active-server counts.
+func (t *Topology) LatencyRHS(servers []int) ([]float64, error) {
+	if len(servers) != len(t.idcs) {
+		return nil, fmt.Errorf("%d server counts for %d IDCs: %w", len(servers), len(t.idcs), ErrBadTopology)
+	}
+	phi := make([]float64, len(t.idcs))
+	for j := range t.idcs {
+		cap, err := queueing.MaxThroughput(servers[j], t.idcs[j].ServiceRate, t.idcs[j].DelayBound)
+		if err != nil {
+			return nil, fmt.Errorf("idc %s: %w", t.idcs[j].Name, err)
+		}
+		phi[j] = cap
+	}
+	return phi, nil
 }
 
 // LatencyCaps builds the latency/capacity inequalities of eqs. (30)–(33):
 // Ψ·U ≤ φ where row j sums IDC j's received workload and
 // φ_j = µ_j·m_j − 1/D_j for the given active-server counts.
 func (t *Topology) LatencyCaps(servers []int) (*mat.Dense, []float64, error) {
-	if len(servers) != len(t.idcs) {
-		return nil, nil, fmt.Errorf("%d server counts for %d IDCs: %w", len(servers), len(t.idcs), ErrBadTopology)
+	phi, err := t.LatencyRHS(servers)
+	if err != nil {
+		return nil, nil, err
 	}
-	psi := mat.Zeros(len(t.idcs), t.NU())
-	phi := make([]float64, len(t.idcs))
-	for j := range t.idcs {
-		for i := 0; i < t.portals; i++ {
-			psi.Set(j, t.Index(i, j), 1)
-		}
-		cap, err := queueing.MaxThroughput(servers[j], t.idcs[j].ServiceRate, t.idcs[j].DelayBound)
-		if err != nil {
-			return nil, nil, fmt.Errorf("idc %s: %w", t.idcs[j].Name, err)
-		}
-		phi[j] = cap
-	}
-	return psi, phi, nil
+	return t.LatencyMatrix(), phi, nil
 }
 
 // Allocation is a workload assignment λ_{ij} stored in U order.

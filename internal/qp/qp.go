@@ -14,6 +14,14 @@
 // The solver needs a feasible starting point. Callers that cannot provide
 // one may leave X0 nil; Solve then runs an LP phase-1 (via internal/lp) with
 // variable splitting to construct one.
+//
+// Receding-horizon callers re-solve the same problem structure every
+// sampling period with fresh right-hand sides. Workspace captures the parts
+// of a solve that depend only on H, Aeq and Ain — the Cholesky factor of H,
+// the H⁻¹aᵢ columns, the Schur-complement products and the Gram–Schmidt
+// independence decisions — so SolveWith can reuse them across calls. All
+// reuse is of bit-identical intermediate values; a solve with a warm
+// Workspace returns exactly the floats a cold solve would.
 package qp
 
 import (
@@ -69,6 +77,56 @@ const (
 	lamtol  = 1e-9
 )
 
+// Workspace carries solver state that stays valid across SolveWith calls
+// sharing the same Hessian H and the same constraint matrices Aeq and Ain.
+// The right-hand sides beq/bin, the linear term q and the start X0 may all
+// change freely between calls — exactly the situation of a receding-horizon
+// controller re-solving one problem structure with fresh data every step.
+//
+// Everything cached here is a value some cold solve computed (or would
+// compute) with identical arithmetic: the Cholesky factor of H, the
+// H⁻¹aᵢ constraint columns, the Schur products aᵢᵀH⁻¹aⱼ, the Gram–Schmidt
+// prune prefix and the materialized constraint rows. Reuse therefore cannot
+// change a solution bit; it only skips recomputation.
+//
+// Reusing a Workspace after H, Aeq or Ain changed produces wrong results —
+// build a fresh one instead. A nil *Workspace is accepted everywhere and
+// means "no cross-solve reuse". Not safe for concurrent use.
+type Workspace struct {
+	hChol  *mat.Cholesky
+	hReady bool
+	// z caches H⁻¹aᵢ per working-set row id (equalities 0…mEq−1, then
+	// inequalities mEq+i).
+	z map[int][]float64
+	// schur caches aᵢᵀ·H⁻¹·aⱼ keyed by the (ascending) row-id pair.
+	schur map[[2]int]float64
+	// prune is the incremental Gram–Schmidt state of pruneDependent.
+	prune pruneState
+	// aeqRows/ainRows are the materialized constraint rows (Dense.Row
+	// copies), filled lazily.
+	aeqRows, ainRows [][]float64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// rows materializes (and caches) the constraint rows of p.
+func (ws *Workspace) rows(p *Problem) (aeqRows, ainRows [][]float64) {
+	if ws.aeqRows == nil && p.Aeq != nil {
+		ws.aeqRows = make([][]float64, p.Aeq.Rows())
+		for i := range ws.aeqRows {
+			ws.aeqRows[i] = p.Aeq.Row(i)
+		}
+	}
+	if ws.ainRows == nil && p.Ain != nil {
+		ws.ainRows = make([][]float64, p.Ain.Rows())
+		for i := range ws.ainRows {
+			ws.ainRows[i] = p.Ain.Row(i)
+		}
+	}
+	return ws.aeqRows, ws.ainRows
+}
+
 // Validate checks dimensional consistency.
 func (p *Problem) Validate() error {
 	if p.H == nil || p.H.Rows() == 0 {
@@ -102,10 +160,18 @@ func (p *Problem) Objective(x []float64) float64 {
 	return 0.5*mat.Dot(x, hx) + mat.Dot(p.Q, x)
 }
 
-// Solve runs the active-set method.
-func Solve(p *Problem) (*Result, error) {
+// Solve runs the active-set method with no cross-solve reuse.
+func Solve(p *Problem) (*Result, error) { return SolveWith(p, nil) }
+
+// SolveWith runs the active-set method, reusing the Workspace caches when
+// ws is non-nil (see Workspace for the validity contract). Results are
+// bit-identical to Solve.
+func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if ws == nil {
+		ws = NewWorkspace() // per-call scratch: no reuse, same arithmetic
 	}
 	n := p.H.Rows()
 	x := make([]float64, n)
@@ -135,44 +201,46 @@ func Solve(p *Problem) (*Result, error) {
 		mIn = p.Ain.Rows()
 	}
 
-	// H is constant across active-set iterations: factor it once. The
-	// Cholesky enables the Schur-complement KKT solve with per-constraint
-	// caching of H⁻¹aᵢ. The dense indefinite KKT factorization is the
-	// fallback — immediately when H is semidefinite or visibly
-	// ill-conditioned, and as a retry if the Schur-driven loop stalls
-	// (severe conditioning can pass the cheap estimate yet still produce
-	// meaningless directions).
-	hChol, _ := mat.FactorCholesky(p.H)
-	if hChol != nil && hChol.CondEstimate() > 1e12 {
-		hChol = nil
+	// H is constant across active-set iterations (and across every solve
+	// sharing the workspace): factor it once. The Cholesky enables the
+	// Schur-complement KKT solve with per-constraint caching of H⁻¹aᵢ. The
+	// dense indefinite KKT factorization is the fallback — immediately when
+	// H is semidefinite or visibly ill-conditioned, and as a retry if the
+	// Schur-driven loop stalls (severe conditioning can pass the cheap
+	// estimate yet still produce meaningless directions).
+	if !ws.hReady {
+		hChol, _ := mat.FactorCholesky(p.H)
+		if hChol != nil && hChol.CondEstimate() > 1e12 {
+			hChol = nil
+		}
+		ws.hChol, ws.hReady = hChol, true
 	}
-	res, err := activeSetLoop(p, hChol, x, n, mEq, mIn)
-	if errors.Is(err, ErrIterationLimit) && hChol != nil {
-		res, err = activeSetLoop(p, nil, x, n, mEq, mIn)
+	res, err := activeSetLoop(p, ws.hChol, x, n, mEq, mIn, ws)
+	if errors.Is(err, ErrIterationLimit) && ws.hChol != nil {
+		res, err = activeSetLoop(p, nil, x, n, mEq, mIn, ws)
 	}
 	return res, err
 }
 
 // activeSetLoop runs the primal active-set iteration from the feasible
 // point x0 (copied), using the Schur path when hChol is non-nil.
-func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn int) (*Result, error) {
+func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn int, ws *Workspace) (*Result, error) {
 	x := append([]float64{}, x0...)
-	zCache := make(map[int][]float64)
+	aeqRows, ainRows := ws.rows(p)
 
 	// Working set over inequality indices.
 	active := make([]bool, mIn)
 	for i := 0; i < mIn; i++ {
-		row := p.Ain.Row(i)
-		if math.Abs(mat.Dot(row, x)-p.Bin[i]) <= featol {
+		if math.Abs(mat.Dot(ainRows[i], x)-p.Bin[i]) <= featol {
 			active[i] = true
 		}
 	}
-	pruneDependent(p, active, mEq)
+	pruneDependent(aeqRows, ainRows, active, mEq, &ws.prune)
 
 	maxIters := 100 + 20*(n+mEq+mIn)
 	fullSteps := 0
 	for iter := 0; iter < maxIters; iter++ {
-		dir, lam, err := kktStep(p, hChol, zCache, x, active, mEq)
+		dir, lam, err := kktStep(p, hChol, ws, aeqRows, ainRows, x, active, mEq)
 		if err != nil {
 			// Degenerate working set: drop one active constraint and retry.
 			if dropAny(active) {
@@ -222,7 +290,7 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 			if active[i] {
 				continue
 			}
-			row := p.Ain.Row(i)
+			row := ainRows[i]
 			ad := mat.Dot(row, dir)
 			if ad <= featol {
 				continue
@@ -241,7 +309,7 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 		}
 		if block >= 0 {
 			active[block] = true
-			pruneDependent(p, active, mEq)
+			pruneDependent(aeqRows, ainRows, active, mEq, &ws.prune)
 			fullSteps = 0
 		} else {
 			fullSteps++
@@ -258,19 +326,19 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 // returning the step p and multipliers λ (equalities first, then active
 // inequalities in index order). With a Cholesky factor of H available the
 // system is solved via the Schur complement S = Aw·H⁻¹·Awᵀ (H is factored
-// once per Solve, not per iteration); otherwise a dense KKT factorization
-// is used.
-func kktStep(p *Problem, hChol *mat.Cholesky, zCache map[int][]float64, x []float64, active []bool, mEq int) (dir, lam []float64, err error) {
+// once per workspace, not per iteration); otherwise a dense KKT
+// factorization is used.
+func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows [][]float64, x []float64, active []bool, mEq int) (dir, lam []float64, err error) {
 	n := p.H.Rows()
 	workRows := make([][]float64, 0, mEq)
 	workIDs := make([]int, 0, mEq)
 	for i := 0; i < mEq; i++ {
-		workRows = append(workRows, p.Aeq.Row(i))
+		workRows = append(workRows, aeqRows[i])
 		workIDs = append(workIDs, i)
 	}
 	for i, a := range active {
 		if a {
-			workRows = append(workRows, p.Ain.Row(i))
+			workRows = append(workRows, ainRows[i])
 			workIDs = append(workIDs, mEq+i)
 		}
 	}
@@ -283,7 +351,7 @@ func kktStep(p *Problem, hChol *mat.Cholesky, zCache map[int][]float64, x []floa
 	}
 
 	if hChol != nil {
-		dir, lam, err = schurStep(hChol, zCache, workRows, workIDs, grad, n)
+		dir, lam, err = schurStep(hChol, ws, workRows, workIDs, grad, n)
 		if err == nil {
 			return dir, lam, nil
 		}
@@ -294,7 +362,7 @@ func kktStep(p *Problem, hChol *mat.Cholesky, zCache map[int][]float64, x []floa
 
 // schurStep solves the KKT system via the Schur complement of the cached
 // Cholesky factorization of H.
-func schurStep(hChol *mat.Cholesky, zCache map[int][]float64, workRows [][]float64, workIDs []int, grad []float64, n int) (dir, lam []float64, err error) {
+func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs []int, grad []float64, n int) (dir, lam []float64, err error) {
 	// y = −H⁻¹·grad is the unconstrained Newton step.
 	y, err := hChol.SolveVec(mat.ScaleVec(-1, grad))
 	if err != nil {
@@ -304,11 +372,14 @@ func schurStep(hChol *mat.Cholesky, zCache map[int][]float64, workRows [][]float
 	if k == 0 {
 		return y, nil, nil
 	}
-	// Z = H⁻¹·Awᵀ column by column, cached per constraint for the whole
-	// Solve (H does not change between iterations).
+	// Z = H⁻¹·Awᵀ column by column, cached per constraint for the lifetime
+	// of the workspace (H does not change while it is valid).
+	if ws.z == nil {
+		ws.z = make(map[int][]float64)
+	}
 	z := make([][]float64, k) // z[i] = H⁻¹·a_i
 	for i, row := range workRows {
-		if cached, ok := zCache[workIDs[i]]; ok {
+		if cached, ok := ws.z[workIDs[i]]; ok {
 			z[i] = cached
 			continue
 		}
@@ -316,13 +387,26 @@ func schurStep(hChol *mat.Cholesky, zCache map[int][]float64, workRows [][]float
 		if err != nil {
 			return nil, nil, fmt.Errorf("qp: H solve: %w", err)
 		}
-		zCache[workIDs[i]] = zi
+		ws.z[workIDs[i]] = zi
 		z[i] = zi
+	}
+	// Schur entries s_ij = aᵢᵀ·H⁻¹·aⱼ likewise depend only on the
+	// constraint pair; cache them across iterations and solves. Positions
+	// are in ascending workID order, so the (i≤j) orientation of each dot
+	// product is stable and the cached value is the bit the fresh
+	// computation would produce.
+	if ws.schur == nil {
+		ws.schur = make(map[[2]int]float64)
 	}
 	schur := mat.Zeros(k, k)
 	for i := 0; i < k; i++ {
 		for j := i; j < k; j++ {
-			v := mat.Dot(workRows[i], z[j])
+			key := [2]int{workIDs[i], workIDs[j]}
+			v, ok := ws.schur[key]
+			if !ok {
+				v = mat.Dot(workRows[i], z[j])
+				ws.schur[key] = v
+			}
 			schur.Set(i, j, v)
 			schur.Set(j, i, v)
 		}
@@ -378,57 +462,90 @@ func denseKKTStep(p *Problem, workRows [][]float64, grad []float64, n int) (dir,
 	return sol[:n], sol[n:], nil
 }
 
+// pruneEntry is one processed working-set row: its id and its orthonormal
+// contribution to the Gram–Schmidt basis (nil when the row stayed in the
+// working set without contributing, i.e. a dependent equality row).
+type pruneEntry struct {
+	id  int
+	vec []float64
+}
+
+// pruneState caches the sequential Gram–Schmidt decisions of
+// pruneDependent. The entries mirror the processing order (equalities, then
+// active inequalities ascending); a decision at position k depends only on
+// the accepted rows before it, so while the id sequence matches, both the
+// decision and the basis vector are exactly what a cold run would compute —
+// reuse is bit-identical. The first position where the working set differs
+// invalidates the cached suffix.
+type pruneState struct {
+	entries []pruneEntry
+}
+
 // pruneDependent removes active inequality constraints whose normals are
 // linearly dependent with the equality rows and earlier active rows, keeping
 // the KKT system nonsingular. Independence is tested by incremental
-// modified Gram–Schmidt, O(k²·n) over the whole working set rather than one
-// QR factorization per candidate.
-func pruneDependent(p *Problem, active []bool, mEq int) {
-	basis := make([][]float64, 0, mEq+len(active))
-	// addIfIndependent orthogonalizes row against the basis; if a
-	// significant residual remains the (normalized) residual joins the
-	// basis and the row is independent.
-	addIfIndependent := func(row []float64) bool {
+// modified Gram–Schmidt; with a warm pruneState only the rows at and after
+// the first working-set change are re-orthogonalized.
+func pruneDependent(aeqRows, ainRows [][]float64, active []bool, mEq int, ps *pruneState) {
+	pos := 0
+	// residualOf orthogonalizes row (twice, for numerical robustness)
+	// against the accepted basis prefix; it returns the normalized residual,
+	// or nil when the row is numerically dependent.
+	residualOf := func(row []float64) []float64 {
 		norm0 := mat.NormVec(row)
 		if norm0 == 0 {
-			return false
+			return nil
 		}
 		r := append([]float64{}, row...)
-		for _, b := range basis {
-			dot := mat.Dot(r, b)
-			for k := range r {
-				r[k] -= dot * b[k]
-			}
-		}
-		// Second orthogonalization pass for numerical robustness.
-		for _, b := range basis {
-			dot := mat.Dot(r, b)
-			for k := range r {
-				r[k] -= dot * b[k]
+		for pass := 0; pass < 2; pass++ {
+			for _, e := range ps.entries[:pos] {
+				if e.vec == nil {
+					continue
+				}
+				dot := mat.Dot(r, e.vec)
+				for k := range r {
+					r[k] -= dot * e.vec[k]
+				}
 			}
 		}
 		nr := mat.NormVec(r)
 		if nr <= 1e-10*norm0 {
-			return false
+			return nil
 		}
 		inv := 1 / nr
 		for k := range r {
 			r[k] *= inv
 		}
-		basis = append(basis, r)
+		return r
+	}
+	// process advances the cached prefix through one candidate row and
+	// reports whether the row stays in the working set.
+	process := func(id int, row []float64, keepDependent bool) bool {
+		if pos < len(ps.entries) && ps.entries[pos].id == id {
+			pos++ // same row after the same prefix: decision and basis reused
+			return true
+		}
+		vec := residualOf(row)
+		if vec == nil && !keepDependent {
+			return false // pruned rows join neither the set nor the cache
+		}
+		ps.entries = append(ps.entries[:pos], pruneEntry{id: id, vec: vec})
+		pos++
 		return true
 	}
 	for i := 0; i < mEq; i++ {
-		addIfIndependent(p.Aeq.Row(i)) // equalities always stay
+		process(i, aeqRows[i], true) // equalities always stay
 	}
 	for i, a := range active {
 		if !a {
 			continue
 		}
-		if !addIfIndependent(p.Ain.Row(i)) {
+		if !process(mEq+i, ainRows[i], false) {
 			active[i] = false
 		}
 	}
+	// Entries beyond pos are kept: if those rows re-enter the working set
+	// after an identical prefix, their decisions are still exact.
 }
 
 func dropAny(active []bool) bool {
@@ -591,6 +708,21 @@ func (l *LSProblem) Lower() (*Problem, error) {
 			h.Set(j, j, h.At(j, j)+2*l.Wr[j])
 		}
 	}
+	q, err := l.linearTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{
+		H: h, Q: q,
+		Aeq: l.Aeq, Beq: l.Beq,
+		Ain: l.Ain, Bin: l.Bin,
+		X0: l.X0,
+	}, nil
+}
+
+// linearTerm computes q = −2·MᵀWq·d, the only lowering product that depends
+// on the residual d.
+func (l *LSProblem) linearTerm() ([]float64, error) {
 	wd := append([]float64{}, l.D...)
 	if l.Wq != nil {
 		for i := range wd {
@@ -601,20 +733,68 @@ func (l *LSProblem) Lower() (*Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	q := mat.ScaleVec(-2, mtd)
-	return &Problem{
-		H: h, Q: q,
-		Aeq: l.Aeq, Beq: l.Beq,
-		Ain: l.Ain, Bin: l.Bin,
-		X0: l.X0,
-	}, nil
+	return mat.ScaleVec(-2, mtd), nil
 }
 
-// SolveLS lowers and solves a constrained least-squares problem.
-func SolveLS(l *LSProblem) (*Result, error) {
-	p, err := l.Lower()
+// LSForm caches the data-independent part of lowering an LSProblem: the
+// Hessian H = 2(MᵀWqM + Wr) for a fixed design matrix and fixed weights.
+// The linear term q = −2·MᵀWq·d varies with the residual and is recomputed
+// per solve. The cached H is produced by the exact Lower arithmetic, so
+// solving through a form is bit-identical to solving without one.
+type LSForm struct {
+	m *mat.Dense
+	h *mat.Dense
+}
+
+// NewLSForm precomputes the lowering of (M, Wq, Wr).
+func NewLSForm(m *mat.Dense, wq, wr []float64) (*LSForm, error) {
+	if m == nil {
+		return nil, fmt.Errorf("nil design matrix: %w", ErrBadProblem)
+	}
+	probe := &LSProblem{M: m, D: make([]float64, m.Rows()), Wq: wq, Wr: wr}
+	p, err := probe.Lower()
 	if err != nil {
 		return nil, err
 	}
-	return Solve(p)
+	return &LSForm{m: m, h: p.H}, nil
+}
+
+// Hessian returns the cached H (shared, not copied).
+func (f *LSForm) Hessian() *mat.Dense { return f.h }
+
+// SolveLS lowers and solves a constrained least-squares problem.
+func SolveLS(l *LSProblem) (*Result, error) { return SolveLSWith(l, nil, nil) }
+
+// SolveLSWith lowers and solves l, reusing form's cached Hessian and ws's
+// cross-solve caches when non-nil. The form must have been built from the
+// same design matrix and weights as l (the matrix identity is checked, the
+// weights are the caller's contract), and ws follows the Workspace validity
+// contract. Results are bit-identical to SolveLS.
+func SolveLSWith(l *LSProblem, form *LSForm, ws *Workspace) (*Result, error) {
+	if form == nil {
+		p, err := l.Lower()
+		if err != nil {
+			return nil, err
+		}
+		return SolveWith(p, ws)
+	}
+	if form.m != l.M {
+		return nil, fmt.Errorf("LS form built for a different design matrix: %w", ErrBadProblem)
+	}
+	if len(l.D) != l.M.Rows() {
+		return nil, fmt.Errorf("d has length %d, want %d: %w", len(l.D), l.M.Rows(), ErrBadProblem)
+	}
+	if l.Wq != nil && len(l.Wq) != l.M.Rows() {
+		return nil, fmt.Errorf("wq has length %d, want %d: %w", len(l.Wq), l.M.Rows(), ErrBadProblem)
+	}
+	q, err := l.linearTerm()
+	if err != nil {
+		return nil, err
+	}
+	return SolveWith(&Problem{
+		H: form.h, Q: q,
+		Aeq: l.Aeq, Beq: l.Beq,
+		Ain: l.Ain, Bin: l.Bin,
+		X0: l.X0,
+	}, ws)
 }

@@ -502,7 +502,7 @@ func TestSchurAndDenseAgree(t *testing.T) {
 		t.Fatalf("Solve: %v", err)
 	}
 	// Force the dense path directly.
-	dense, err := activeSetLoop(p, nil, x0, n, 1, n)
+	dense, err := activeSetLoop(p, nil, x0, n, 1, n, NewWorkspace())
 	if err != nil {
 		t.Fatalf("dense loop: %v", err)
 	}

@@ -1,0 +1,150 @@
+package qp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// workspaceFixture builds an SPD Hessian with one equality (Σx = b) and box
+// inequalities — the same constraint structure across solves, as the
+// Workspace contract requires.
+func workspaceFixture(r *rand.Rand, n int) (h *mat.Dense, aeq, ain *mat.Dense) {
+	m := mat.Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	mt, _ := mat.Mul(m.T(), m)
+	h, _ = mat.Add(mt, mat.Identity(n))
+	aeq = mat.Zeros(1, n)
+	for j := 0; j < n; j++ {
+		aeq.Set(0, j, 1)
+	}
+	ain = mat.Zeros(2*n, n)
+	for i := 0; i < n; i++ {
+		ain.Set(i, i, 1)
+		ain.Set(n+i, i, -1)
+	}
+	return h, aeq, ain
+}
+
+// TestSolveWithWorkspaceBitIdentical re-solves one problem structure with
+// fresh right-hand sides, linear terms and starts, sharing a Workspace —
+// exactly the MPC's fast-loop pattern — and requires every solution to
+// match the cold Solve bit for bit.
+func TestSolveWithWorkspaceBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 6
+	h, aeq, ain := workspaceFixture(r, n)
+	ws := NewWorkspace()
+	for trial := 0; trial < 25; trial++ {
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = 3 * r.NormFloat64()
+		}
+		// Vary the box radius and the equality level so the active set
+		// changes from solve to solve (exercising the prune/Schur caches on
+		// differing working sets), keeping x0 = b/n · 1 feasible.
+		radius := 1.0 + r.Float64()
+		b := (2*r.Float64() - 1) * radius * float64(n) / 2
+		bin := make([]float64, 2*n)
+		for i := 0; i < n; i++ {
+			bin[i] = radius
+			bin[n+i] = radius
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = b / float64(n)
+		}
+		p := &Problem{H: h, Q: q, Aeq: aeq, Beq: []float64{b}, Ain: ain, Bin: bin, X0: x0}
+		cold, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		warm, err := SolveWith(p, ws)
+		if err != nil {
+			t.Fatalf("trial %d: SolveWith: %v", trial, err)
+		}
+		for i := range cold.X {
+			if cold.X[i] != warm.X[i] {
+				t.Fatalf("trial %d: X[%d] cold %v != warm %v", trial, i, cold.X[i], warm.X[i])
+			}
+		}
+		if cold.Obj != warm.Obj || cold.Iterations != warm.Iterations {
+			t.Fatalf("trial %d: obj/iters diverged: cold (%v, %d) warm (%v, %d)",
+				trial, cold.Obj, cold.Iterations, warm.Obj, warm.Iterations)
+		}
+	}
+}
+
+// TestSolveLSWithFormBitIdentical checks the cached-Hessian LS path against
+// the plain lowering across varying residuals.
+func TestSolveLSWithFormBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rows, n := 10, 5
+	m := mat.Zeros(rows, n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	wq := make([]float64, rows)
+	for i := range wq {
+		wq[i] = 0.5 + r.Float64()
+	}
+	wr := make([]float64, n)
+	for i := range wr {
+		wr[i] = 0.1 + r.Float64()
+	}
+	ain := mat.Zeros(2*n, n)
+	bin := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		ain.Set(i, i, 1)
+		bin[i] = 1.5
+		ain.Set(n+i, i, -1)
+		bin[n+i] = 1.5
+	}
+	form, err := NewLSForm(m, wq, wr)
+	if err != nil {
+		t.Fatalf("NewLSForm: %v", err)
+	}
+	ws := NewWorkspace()
+	for trial := 0; trial < 15; trial++ {
+		d := make([]float64, rows)
+		for i := range d {
+			d[i] = 2 * r.NormFloat64()
+		}
+		l := &LSProblem{M: m, D: d, Wq: wq, Wr: wr, Ain: ain, Bin: bin, X0: make([]float64, n)}
+		cold, err := SolveLS(l)
+		if err != nil {
+			t.Fatalf("trial %d: SolveLS: %v", trial, err)
+		}
+		warm, err := SolveLSWith(l, form, ws)
+		if err != nil {
+			t.Fatalf("trial %d: SolveLSWith: %v", trial, err)
+		}
+		for i := range cold.X {
+			if cold.X[i] != warm.X[i] {
+				t.Fatalf("trial %d: X[%d] cold %v != warm %v", trial, i, cold.X[i], warm.X[i])
+			}
+		}
+	}
+}
+
+// TestSolveLSWithRejectsForeignForm pins the design-matrix identity check.
+func TestSolveLSWithRejectsForeignForm(t *testing.T) {
+	m1 := mat.Identity(3)
+	m2 := mat.Identity(3)
+	form, err := NewLSForm(m1, nil, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatalf("NewLSForm: %v", err)
+	}
+	l := &LSProblem{M: m2, D: []float64{1, 2, 3}, Wr: []float64{1, 1, 1}}
+	if _, err := SolveLSWith(l, form, nil); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("foreign form accepted: err = %v", err)
+	}
+}

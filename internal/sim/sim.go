@@ -179,43 +179,75 @@ func Run(sc Scenario) (*Result, error) {
 	if !sc.SkipBaseline {
 		res.Optimal = newSeries(n, sc.Steps)
 	}
-	var baseCum float64
+
+	// The optimal-method baseline is independent of the control loop (it
+	// only consumes each step's telemetry), so it runs pipelined on its own
+	// goroutine: a single ordered worker consumes steps as the controller
+	// produces them, preserving the sequential accumulation order — the
+	// recorded series are value-identical to an inline baseline.
+	var baseErr error
+	var baseCh chan *core.Telemetry
+	baseDone := make(chan struct{})
+	if res.Optimal != nil {
+		baseCh = make(chan *core.Telemetry, 64)
+		go func(ch <-chan *core.Telemetry) {
+			defer close(baseDone)
+			var baseCum float64
+			for tel := range ch {
+				if baseErr != nil {
+					continue // drain after first failure
+				}
+				// The baseline sees the same prices (and demand copy) the
+				// controller saw; core floors negative prices at the
+				// source, so no per-step clamp is needed here.
+				opt, err := alloc.PriceOrdered(sc.Topology, tel.Prices, tel.Demands)
+				if err != nil {
+					baseErr = fmt.Errorf("sim: baseline step %d: %w", tel.Step, err)
+					continue
+				}
+				var rate float64
+				for j := 0; j < n; j++ {
+					rate += tel.Prices[j] * power.WattsToMW(opt.PowerWatts[j])
+				}
+				baseCum += rate * sc.Ts / 3600
+				res.Optimal.TimeMin = append(res.Optimal.TimeMin, float64(tel.Step)*sc.Ts/60)
+				res.Optimal.Hours = append(res.Optimal.Hours, tel.Hour)
+				res.Optimal.CostRate = append(res.Optimal.CostRate, rate)
+				res.Optimal.CumulativeCost = append(res.Optimal.CumulativeCost, baseCum)
+				for j := 0; j < n; j++ {
+					res.Optimal.PowerWatts[j] = append(res.Optimal.PowerWatts[j], opt.PowerWatts[j])
+					res.Optimal.Servers[j] = append(res.Optimal.Servers[j], opt.Servers[j])
+					res.Optimal.RefPowerWatts[j] = append(res.Optimal.RefPowerWatts[j], opt.PowerWatts[j])
+					res.Optimal.Prices[j] = append(res.Optimal.Prices[j], tel.Prices[j])
+				}
+			}
+		}(baseCh)
+	} else {
+		close(baseDone)
+	}
+	finishBaseline := func() error {
+		if baseCh != nil {
+			close(baseCh)
+			baseCh = nil
+		}
+		<-baseDone
+		return baseErr
+	}
+
 	for k := 0; k < sc.Steps; k++ {
 		demands := demandAt(k)
 		tel, err := controller.Step(demands)
 		if err != nil {
+			finishBaseline() //nolint:errcheck // control error takes precedence
 			return nil, fmt.Errorf("sim: control step %d: %w", k, err)
 		}
-		minute := float64(k) * sc.Ts / 60
-		recordControl(res.Control, tel, minute)
-
-		if res.Optimal != nil {
-			hour := tel.Hour
-			// The baseline sees the same prices the controller saw.
-			opt, err := alloc.PriceOrdered(sc.Topology, tel.Prices, demands)
-			if err != nil {
-				return nil, fmt.Errorf("sim: baseline step %d: %w", k, err)
-			}
-			var rate float64
-			for j := 0; j < n; j++ {
-				pr := tel.Prices[j]
-				if pr < 0 {
-					pr = 0
-				}
-				rate += pr * power.WattsToMW(opt.PowerWatts[j])
-			}
-			baseCum += rate * sc.Ts / 3600
-			res.Optimal.TimeMin = append(res.Optimal.TimeMin, minute)
-			res.Optimal.Hours = append(res.Optimal.Hours, hour)
-			res.Optimal.CostRate = append(res.Optimal.CostRate, rate)
-			res.Optimal.CumulativeCost = append(res.Optimal.CumulativeCost, baseCum)
-			for j := 0; j < n; j++ {
-				res.Optimal.PowerWatts[j] = append(res.Optimal.PowerWatts[j], opt.PowerWatts[j])
-				res.Optimal.Servers[j] = append(res.Optimal.Servers[j], opt.Servers[j])
-				res.Optimal.RefPowerWatts[j] = append(res.Optimal.RefPowerWatts[j], opt.PowerWatts[j])
-				res.Optimal.Prices[j] = append(res.Optimal.Prices[j], tel.Prices[j])
-			}
+		recordControl(res.Control, tel, float64(k)*sc.Ts/60)
+		if baseCh != nil {
+			baseCh <- tel
 		}
+	}
+	if err := finishBaseline(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

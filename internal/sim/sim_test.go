@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/ctrl"
@@ -302,5 +303,37 @@ func TestScaleBeyondPaper(t *testing.T) {
 	}
 	if served <= 0 {
 		t.Fatal("no power drawn at scale")
+	}
+}
+
+// TestRunDeterministic pins the pipelined baseline's value-identity: the
+// optimal-method worker runs concurrently with the control loop, but its
+// ordered, single-consumer design must make repeated runs of one scenario
+// produce bitwise-identical series for both methods.
+func TestRunDeterministic(t *testing.T) {
+	sc := paperScenario()
+	sc.Steps = 130 // cross the 6H→7H flip
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(a.Control, b.Control) {
+		t.Fatal("control series differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.Optimal, b.Optimal) {
+		t.Fatal("optimal series differ between identical runs")
+	}
+	// The baseline must cover every step in order despite the pipelining.
+	if b.Optimal.Steps() != sc.Steps {
+		t.Fatalf("optimal steps = %d, want %d", b.Optimal.Steps(), sc.Steps)
+	}
+	for k := 1; k < b.Optimal.Steps(); k++ {
+		if b.Optimal.TimeMin[k] <= b.Optimal.TimeMin[k-1] {
+			t.Fatalf("baseline out of order at step %d", k)
+		}
 	}
 }
