@@ -2,15 +2,19 @@
 #
 #   make check   — the tier-1 gate plus vet and the race detector; run this
 #                  before every push. The race pass matters: sim.Run and
-#                  experiments.RunAll spawn goroutines.
+#                  experiments.RunAll spawn goroutines. The non-race test
+#                  pass matters too: the allocation-regression tests
+#                  (testing.AllocsPerRun) skip themselves under -race.
 #   make test    — fast unit tests only.
-#   make bench   — the paper-artifact benchmarks with series checksums.
+#   make bench   — the paper-artifact benchmarks with series checksums,
+#                  recorded to $(BENCH_JSON) for regression comparison.
 
 GO ?= go
+BENCH_JSON ?= BENCH_PR2.json
 
 .PHONY: check vet build test race bench
 
-check: vet build race
+check: vet build test race
 
 vet:
 	$(GO) vet ./...
@@ -25,4 +29,4 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run XXX -bench . -benchmem .
+	$(GO) test -run XXX -bench . -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)

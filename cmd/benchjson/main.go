@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// summary for benchmark-regression tracking. It reads the benchmark stream
+// on stdin, passes every line through to stdout unchanged (so the pipe stays
+// human-readable), and writes the parsed results to -out:
+//
+//	go test -run XXX -bench . -benchmem . | benchjson -out BENCH.json
+//
+// Each benchmark line ("BenchmarkName-P  iters  v1 unit1  v2 unit2 ...")
+// becomes one record keyed by the benchmark name with the GOMAXPROCS suffix
+// stripped; value/unit pairs — including custom b.ReportMetric units such as
+// the figure checksums — land in the metrics map verbatim. benchjson exits
+// nonzero when the stream contains a test failure, so `make bench` fails
+// loudly instead of writing a partial file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Summary is the file written to -out.
+type Summary struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the JSON summary to this file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var sum Summary
+	failed := false
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(out, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			sum.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			sum.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			sum.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			sum.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "--- FAIL") || line == "FAIL" || strings.HasPrefix(line, "FAIL\t"):
+			failed = true
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				sum.Benchmarks = append(sum.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(&sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("benchmark stream reported FAIL")
+	}
+	if len(sum.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return nil
+}
+
+// parseBenchLine parses "BenchmarkName-P  iters  value unit [value unit ...]".
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS suffix the bench runner appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return Benchmark{Name: name, Iterations: iters, Metrics: metrics}, true
+}

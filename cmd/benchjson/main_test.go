@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMPCStep-4        	   13701	     82388 ns/op	      39 B/op	       0 allocs/op
+BenchmarkReferenceLP/Warm-4 	  361116	      3007 ns/op	    3368 B/op	      20 allocs/op
+BenchmarkFig4-4           	      10	 104948436 ns/op	 4.186e+07 checksum	      12 figs
+PASS
+ok  	repro	2.459s
+`
+
+func TestParseAndEmit(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath}, strings.NewReader(sample), &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stdout.String() != sample {
+		t.Error("stdin was not passed through to stdout unchanged")
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if sum.Goos != "linux" || sum.Pkg != "repro" {
+		t.Errorf("header fields = %q/%q, want linux/repro", sum.Goos, sum.Pkg)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(sum.Benchmarks))
+	}
+	mpc := sum.Benchmarks[0]
+	if mpc.Name != "MPCStep" || mpc.Iterations != 13701 {
+		t.Errorf("first benchmark = %q/%d, want MPCStep/13701", mpc.Name, mpc.Iterations)
+	}
+	if mpc.Metrics["ns/op"] != 82388 || mpc.Metrics["allocs/op"] != 0 {
+		t.Errorf("MPCStep metrics = %v", mpc.Metrics)
+	}
+	if sum.Benchmarks[1].Name != "ReferenceLP/Warm" {
+		t.Errorf("sub-benchmark name = %q, want ReferenceLP/Warm", sum.Benchmarks[1].Name)
+	}
+	if sum.Benchmarks[2].Metrics["checksum"] != 4.186e+07 {
+		t.Errorf("custom metric checksum = %v", sum.Benchmarks[2].Metrics["checksum"])
+	}
+}
+
+func TestFailStreamExitsNonzero(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	in := "BenchmarkX-4 10 5 ns/op\n--- FAIL: TestY (0.00s)\nFAIL\nFAIL\trepro\t0.1s\n"
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath}, strings.NewReader(in), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "FAIL") {
+		t.Fatalf("want FAIL error, got %v", err)
+	}
+	// The summary is still written so the partial run remains inspectable.
+	if _, statErr := os.Stat(outPath); statErr != nil {
+		t.Fatalf("summary not written on failure: %v", statErr)
+	}
+}
+
+func TestNoBenchmarksIsAnError(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath}, strings.NewReader("PASS\nok\trepro\t0.1s\n"), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark") {
+		t.Fatalf("want no-benchmark error, got %v", err)
+	}
+}

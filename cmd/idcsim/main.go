@@ -22,6 +22,7 @@ import (
 	"repro/internal/ctrl"
 	"repro/internal/idc"
 	"repro/internal/price"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -33,7 +34,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("idcsim", flag.ContinueOnError)
 	steps := fs.Int("steps", 140, "fast-loop steps to simulate")
 	ts := fs.Float64("ts", 30, "sampling period in seconds")
@@ -51,9 +52,20 @@ func run(args []string, out io.Writer) error {
 	noBaseline := fs.Bool("no-baseline", false, "skip the optimal-method baseline")
 	configPath := fs.String("config", "", "load the scenario from a JSON file (overrides other flags)")
 	format := fs.String("format", "csv", "output format: csv or json")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, perr := prof.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		return perr
+	}
+	defer func() {
+		if serr := stopProf(); err == nil {
+			err = serr
+		}
+	}()
 	var emit func(io.Writer, *sim.Result) error
 	switch *format {
 	case "csv":

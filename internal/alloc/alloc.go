@@ -66,6 +66,43 @@ func Optimize(top *idc.Topology, prices, demands []float64) (*Result, error) {
 // conservation. budgets may be nil; zero entries mean unconstrained.
 // ErrInfeasible is returned when the budgets cannot accommodate the demand.
 func OptimizeWithBudgets(top *idc.Topology, prices, demands, budgets []float64) (*Result, error) {
+	return optimizeBudgets(top, prices, demands, budgets, nil)
+}
+
+// Solver is a stateful eq. (46) optimizer that carries an lp.Solver across
+// calls. When successive calls keep the same topology, demands and budgets —
+// the slow loop's hourly price updates — the LP warm-starts from the previous
+// optimal basis instead of rerunning two-phase simplex (see lp.Solver for the
+// exact eligibility and fallback contract). The zero value is ready for use;
+// a Solver is not safe for concurrent use.
+type Solver struct {
+	lp lp.Solver
+}
+
+// NewSolver returns a ready Solver.
+func NewSolver() *Solver { return &Solver{} }
+
+// Optimize is the package-level Optimize through this solver's warm state.
+func (s *Solver) Optimize(top *idc.Topology, prices, demands []float64) (*Result, error) {
+	return optimizeBudgets(top, prices, demands, nil, &s.lp)
+}
+
+// OptimizeWithBudgets is the package-level OptimizeWithBudgets through this
+// solver's warm state.
+func (s *Solver) OptimizeWithBudgets(top *idc.Topology, prices, demands, budgets []float64) (*Result, error) {
+	return optimizeBudgets(top, prices, demands, budgets, &s.lp)
+}
+
+// Stats reports the underlying LP solver's warm/cold solve counts.
+func (s *Solver) Stats() (warm, cold int) { return s.lp.Stats() }
+
+// Reset drops the retained LP state; the next call solves cold.
+func (s *Solver) Reset() { s.lp.Reset() }
+
+// optimizeBudgets builds and solves the eq. (46) LP. A nil solver runs the
+// stateless cold path; otherwise the solve goes through the given warm-start
+// solver.
+func optimizeBudgets(top *idc.Topology, prices, demands, budgets []float64, solver *lp.Solver) (*Result, error) {
 	if top == nil {
 		return nil, fmt.Errorf("nil topology: %w", ErrBadInput)
 	}
@@ -151,7 +188,13 @@ func OptimizeWithBudgets(top *idc.Topology, prices, demands, budgets []float64) 
 		row++
 	}
 
-	res, err := lp.Solve(&lp.Problem{C: cost, Aeq: aeq, Beq: consRHS, Aub: aub, Bub: bub})
+	prob := &lp.Problem{C: cost, Aeq: aeq, Beq: consRHS, Aub: aub, Bub: bub}
+	var res *lp.Result
+	if solver != nil {
+		res, err = solver.Solve(prob)
+	} else {
+		res, err = lp.Solve(prob)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("alloc: %w", err)
 	}

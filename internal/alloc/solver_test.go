@@ -1,0 +1,132 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/idc"
+	"repro/internal/price"
+	"repro/internal/workload"
+)
+
+// lpObjective recomputes the continuous eq. (46) objective
+// Σ_j Pr_j·(b1_j·λ_j + b0_j·m_j) from a Result's allocation and LP server
+// levels — the quantity the LP optimizes, before eq. (35) integer rounding.
+func lpObjective(top *idc.Topology, prices []float64, res *Result) float64 {
+	perIDC := res.Allocation.PerIDC()
+	var obj float64
+	for j := 0; j < top.N(); j++ {
+		d := top.IDC(j)
+		pr := prices[j]
+		if pr < 0 {
+			pr = 0
+		}
+		obj += pr * (d.Power.B1*perIDC[j] + d.Power.B0*res.ServersLP[j])
+	}
+	return obj
+}
+
+// TestSolverMatchesStatelessOverPriceSweep drives a persistent Solver
+// through 24 hourly price updates with fixed demands — the slow loop's exact
+// reuse pattern — and checks it against the stateless optimizer. The warm
+// and cold paths may land on different vertices of a degenerate optimal
+// face (so per-IDC splits and rounded server counts can differ), but the LP
+// objective must agree to solver tolerance and conservation must hold
+// exactly. The first call solves cold; all 23 re-solves must warm-start.
+func TestSolverMatchesStatelessOverPriceSweep(t *testing.T) {
+	top := idc.PaperTopology()
+	demands := workload.TableI()
+	pm := price.NewEmbeddedModel()
+	s := NewSolver()
+	for h := 0; h < 24; h++ {
+		prices := make([]float64, top.N())
+		for j := range prices {
+			p, err := pm.Price(top.IDC(j).Region, h, 0)
+			if err != nil {
+				t.Fatalf("price h=%d idc=%d: %v", h, j, err)
+			}
+			prices[j] = p
+		}
+		warmRes, err := s.Optimize(top, prices, demands)
+		if err != nil {
+			t.Fatalf("hour %d warm Optimize: %v", h, err)
+		}
+		coldRes, err := Optimize(top, prices, demands)
+		if err != nil {
+			t.Fatalf("hour %d cold Optimize: %v", h, err)
+		}
+		warmObj := lpObjective(top, prices, warmRes)
+		coldObj := lpObjective(top, prices, coldRes)
+		if math.Abs(warmObj-coldObj) > 1e-9*(1+math.Abs(coldObj)) {
+			t.Fatalf("hour %d: warm LP objective %.12g vs cold %.12g", h, warmObj, coldObj)
+		}
+		perPortal := warmRes.Allocation.PerPortal()
+		for i := range demands {
+			if math.Abs(perPortal[i]-demands[i]) > 1e-6*(1+demands[i]) {
+				t.Fatalf("hour %d portal %d: served %g, want %g", h, i, perPortal[i], demands[i])
+			}
+		}
+	}
+	warm, cold := s.Stats()
+	if cold != 1 || warm != 23 {
+		t.Fatalf("Stats() = (%d warm, %d cold), want (23, 1)", warm, cold)
+	}
+}
+
+// TestSolverBudgetShapeChangeFallsBack verifies that toggling budgets —
+// which adds and removes LP rows — always falls back to the cold path and
+// still matches the stateless budget-aware optimizer.
+func TestSolverBudgetShapeChangeFallsBack(t *testing.T) {
+	top := idc.PaperTopology()
+	demands := workload.TableI()
+	s := NewSolver()
+	if _, err := s.Optimize(top, prices6H(), demands); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	unconstrained, err := s.Optimize(top, prices7H(), demands)
+	if err != nil {
+		t.Fatalf("Optimize 7H: %v", err)
+	}
+	// Cap only the most-loaded IDC at 95% of its unconstrained draw so the
+	// displaced workload can re-route to the others and the LP stays
+	// feasible. (finish() allocates fresh result storage, so reading
+	// unconstrained after the next solve is safe.)
+	budgets := make([]float64, top.N())
+	jmax := 0
+	for j, w := range unconstrained.PowerWatts {
+		if w > unconstrained.PowerWatts[jmax] {
+			jmax = j
+		}
+	}
+	budgets[jmax] = 0.95 * unconstrained.PowerWatts[jmax]
+	warmRes, err := s.OptimizeWithBudgets(top, prices7H(), demands, budgets)
+	if err != nil {
+		t.Fatalf("OptimizeWithBudgets: %v", err)
+	}
+	coldRes, err := OptimizeWithBudgets(top, prices7H(), demands, budgets)
+	if err != nil {
+		t.Fatalf("stateless OptimizeWithBudgets: %v", err)
+	}
+	if math.Abs(warmRes.CostRate-coldRes.CostRate) > 1e-9*(1+math.Abs(coldRes.CostRate)) {
+		t.Fatalf("budgeted: warm cost rate %g vs cold %g", warmRes.CostRate, coldRes.CostRate)
+	}
+	// ServersLP is the LP's continuous m; the budget row constrains
+	// b1·λ + b0·m at that continuous point (integer rounding can nudge the
+	// realized PowerWatts slightly above).
+	d := top.IDC(jmax)
+	lpPower := d.Power.B1*warmRes.Allocation.PerIDC()[jmax] + d.Power.B0*warmRes.ServersLP[jmax]
+	if lpPower > budgets[jmax]*(1+1e-9) {
+		t.Fatalf("idc %d: LP power %g exceeds budget %g", jmax, lpPower, budgets[jmax])
+	}
+	warm, cold := s.Stats()
+	if warm != 1 || cold != 2 {
+		t.Fatalf("Stats() = (%d warm, %d cold), want (1, 2)", warm, cold)
+	}
+	// Dropping the budgets changes the shape back: cold again.
+	if _, err := s.Optimize(top, prices7H(), demands); err != nil {
+		t.Fatalf("Optimize after budgets: %v", err)
+	}
+	if warm, cold = s.Stats(); warm != 1 || cold != 3 {
+		t.Fatalf("Stats() after shape revert = (%d warm, %d cold), want (1, 3)", warm, cold)
+	}
+}

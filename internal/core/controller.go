@@ -112,6 +112,13 @@ type Controller struct {
 	slp     *sleep.Controller
 	preds   []*forecast.Predictor
 	budgets []float64
+	// refSolver carries the reference LP's simplex basis across slow ticks:
+	// hourly re-solves change only the cost vector (new prices, same
+	// demands/budgets shape), which is exactly lp.Solver's warm-start case.
+	// Only the main slowTick solve goes through it; the trajectory and
+	// budget-infeasible fallback solves stay on the stateless cold path so
+	// their differently-shaped problems never churn the retained basis.
+	refSolver *alloc.Solver
 
 	// Mutable loop state.
 	step     int
@@ -197,12 +204,13 @@ func New(cfg Config) (*Controller, error) {
 		}
 	}
 	return &Controller{
-		cfg:     cfg,
-		mpc:     mpc,
-		slp:     slp,
-		preds:   preds,
-		budgets: budgets,
-		state:   make([]float64, n+1),
+		cfg:       cfg,
+		mpc:       mpc,
+		slp:       slp,
+		preds:     preds,
+		budgets:   budgets,
+		refSolver: alloc.NewSolver(),
+		state:     make([]float64, n+1),
 	}, nil
 }
 
@@ -336,7 +344,9 @@ func (c *Controller) Step(demands []float64) (*Telemetry, error) {
 	c.cumCost += costRate * c.cfg.Ts / 3600
 
 	c.state = newState
-	c.u = out.U
+	// out.U is scratch-backed and overwritten by the next MPC step; c.u
+	// outlives it, so copy.
+	c.u = append(c.u[:0], out.U...)
 	c.servers = newServers
 
 	tel := &Telemetry{
@@ -422,7 +432,7 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 	// IDCs. When even that is infeasible (budgets too tight for the
 	// demand), fall back to the unconstrained optimum with a bare clamp —
 	// budgets degrade to soft targets, exactly the paper's formulation.
-	ref, err := alloc.OptimizeWithBudgets(top, prices, refDemands, c.budgets)
+	ref, err := c.refSolver.OptimizeWithBudgets(top, prices, refDemands, c.budgets)
 	if err != nil && errors.Is(err, alloc.ErrInfeasible) && anyPositive(c.budgets) {
 		ref, err = alloc.Optimize(top, prices, refDemands)
 	}

@@ -1,0 +1,48 @@
+package ctrl
+
+import (
+	"testing"
+
+	"repro/internal/testenv"
+	"repro/internal/workload"
+)
+
+// TestMPCStepSteadyStateAllocFree pins the tentpole property at the ctrl
+// layer: with the condensed cache warm and the step scratch grown to its
+// steady size, MPC.Step performs zero heap allocations.
+func TestMPCStepSteadyStateAllocFree(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	model := newTestModel(t, testPrices6H, 30)
+	u0, servers := feasibleStart(t, testPrices6H)
+	refPower, err := model.PowerRates(u0, servers)
+	if err != nil {
+		t.Fatalf("PowerRates: %v", err)
+	}
+	mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 6})
+	if err != nil {
+		t.Fatalf("NewMPC: %v", err)
+	}
+	in := StepInput{
+		Model:    model,
+		State:    make([]float64, model.StateDim()),
+		PrevU:    u0,
+		Servers:  servers,
+		Demands:  workload.TableI(),
+		RefPower: refPower,
+	}
+	for i := 0; i < 3; i++ { // build condensed cache, grow scratch, warm QP caches
+		if _, err := mpc.Step(in); err != nil {
+			t.Fatalf("warmup Step: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := mpc.Step(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state MPC.Step allocated %v allocs/run, want 0", allocs)
+	}
+}

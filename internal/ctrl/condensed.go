@@ -76,19 +76,21 @@ func newCondensed(model *Model, cfg MPCConfig) (*condensed, error) {
 		}
 		phiPow[s] = p
 	}
-	// phiG[t] = Φ^t·G feeding cumG[s] = Σ_{t=0}^{s} Φ^t·G (s = 0…β1−1).
-	phiG := make([]*mat.Dense, b1)
-	for t := 0; t < b1; t++ {
-		g, err := mat.Mul(phiPow[t], model.G)
+	// cumG[s] = Σ_{t=0}^{s} Φ^t·G (s = 0…β1−1). Each Φ^t·G term folds into
+	// the running sum through one reused scratch matrix.
+	cumG := make([]*mat.Dense, b1)
+	first, err := mat.Mul(phiPow[0], model.G)
+	if err != nil {
+		return nil, err
+	}
+	cumG[0] = first
+	var gScratch *mat.Dense
+	for s := 1; s < b1; s++ {
+		gScratch, err = mat.MulInto(gScratch, phiPow[s], model.G)
 		if err != nil {
 			return nil, err
 		}
-		phiG[t] = g
-	}
-	cumG := make([]*mat.Dense, b1)
-	cumG[0] = phiG[0]
-	for s := 1; s < b1; s++ {
-		c, err := mat.Add(cumG[s-1], phiG[s])
+		c, err := mat.AddInto(nil, cumG[s-1], gScratch)
 		if err != nil {
 			return nil, err
 		}

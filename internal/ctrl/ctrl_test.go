@@ -551,6 +551,8 @@ func TestMPCReferenceTrajectory(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Step flat: %v", err)
 	}
+	// StepOutput slices are scratch-backed; copy before the next Step.
+	flatDeltaU := append([]float64(nil), flat.DeltaU...)
 	// Gradual trajectory: linear interpolation over the horizon.
 	h := mpc.Config().PredHorizon
 	traj := make([][]float64, h)
@@ -568,9 +570,9 @@ func TestMPCReferenceTrajectory(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Step trajectory: %v", err)
 	}
-	if !(mat.NormVec(gradual.DeltaU) < 0.8*mat.NormVec(flat.DeltaU)) {
+	if !(mat.NormVec(gradual.DeltaU) < 0.8*mat.NormVec(flatDeltaU)) {
 		t.Fatalf("trajectory first move %g not smaller than flat %g",
-			mat.NormVec(gradual.DeltaU), mat.NormVec(flat.DeltaU))
+			mat.NormVec(gradual.DeltaU), mat.NormVec(flatDeltaU))
 	}
 }
 
@@ -599,6 +601,8 @@ func TestMPCTrajectoryShorterThanHorizonHeld(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Step: %v", err)
 	}
+	// StepOutput slices are scratch-backed; copy before the next Step.
+	aU := append([]float64(nil), a.U...)
 	b, err := mpc.Step(StepInput{
 		Model: model, State: make([]float64, 4), PrevU: u6,
 		Servers: servers, Demands: workload.TableI(), RefPower: ref,
@@ -607,7 +611,7 @@ func TestMPCTrajectoryShorterThanHorizonHeld(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Step traj: %v", err)
 	}
-	if mat.NormInfVec(mat.SubVec(a.U, b.U)) > 1e-6*(1+mat.NormInfVec(a.U)) {
+	if mat.NormInfVec(mat.SubVec(aU, b.U)) > 1e-6*(1+mat.NormInfVec(aU)) {
 		t.Fatal("single-entry trajectory diverges from constant reference")
 	}
 }

@@ -286,32 +286,53 @@ func (m *Model) Folded() bool { return m.folded }
 // counts for the plain model, or the constant standby terms 1/(µ_j·D_j)
 // for a folded model (servers is then ignored).
 func (m *Model) DisturbanceVec(servers []int) []float64 {
+	v := make([]float64, m.top.N())
+	m.DisturbanceVecInto(v, servers)
+	return v
+}
+
+// DisturbanceVecInto is DisturbanceVec writing into dst, which must have
+// length N.
+func (m *Model) DisturbanceVecInto(dst []float64, servers []int) {
 	n := m.top.N()
-	v := make([]float64, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("ctrl: DisturbanceVecInto dst length %d, want %d", len(dst), n))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	if m.folded {
 		for j := 0; j < n; j++ {
 			d := m.top.IDC(j)
-			v[j] = 1 / (d.ServiceRate * d.DelayBound)
+			dst[j] = 1 / (d.ServiceRate * d.DelayBound)
 		}
-		return v
+		return
 	}
 	for j := 0; j < n && j < len(servers); j++ {
-		v[j] = float64(servers[j])
+		dst[j] = float64(servers[j])
 	}
-	return v
 }
 
 // CapServers returns the server counts to use for the latency caps: the
 // actual counts for a plain model, the full fleet for a folded one.
 func (m *Model) CapServers(servers []int) []int {
+	return m.CapServersInto(nil, servers)
+}
+
+// CapServersInto is CapServers reusing buf's backing array when it has
+// capacity.
+func (m *Model) CapServersInto(buf []int, servers []int) []int {
 	if !m.folded {
-		cp := make([]int, len(servers))
-		copy(cp, servers)
-		return cp
+		return append(buf[:0], servers...)
 	}
-	out := make([]int, m.top.N())
-	for j := range out {
-		out[j] = m.top.IDC(j).TotalServers
+	n := m.top.N()
+	if cap(buf) < n {
+		buf = make([]int, n)
+	} else {
+		buf = buf[:n]
 	}
-	return out
+	for j := range buf {
+		buf[j] = m.top.IDC(j).TotalServers
+	}
+	return buf
 }

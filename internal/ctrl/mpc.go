@@ -78,6 +78,30 @@ type MPC struct {
 	// nocache forces a fresh condensed build every Step (testing hook used
 	// to prove cached and uncached paths are bit-identical).
 	nocache bool
+	// sc holds Step's grow-only scratch buffers; once they reach the
+	// problem's steady size, a cached-path Step performs no heap allocations.
+	sc stepScratch
+}
+
+// stepScratch is MPC.Step's reusable buffer set. Everything the returned
+// StepOutput points into lives here, which is what makes the steady-state
+// step allocation-free — and why outputs are only valid until the next Step
+// (see StepOutput).
+type stepScratch struct {
+	dist, gamV       []float64
+	d, refEnergy     []float64
+	free, xiU, omega []float64
+	phi              []float64
+	capSrv           []int
+	hPrev, psiPrev   []float64
+	beq, bin         []float64
+	zero, shifted    []float64
+	feasBuf          []float64
+	deltaU, u, thz   []float64
+	predBuf          []float64
+	preds            [][]float64
+	ls               qp.LSProblem
+	out              StepOutput
 }
 
 // NewMPC validates the configuration and returns a controller.
@@ -132,6 +156,10 @@ type StepInput struct {
 }
 
 // StepOutput is the controller's move.
+//
+// Ownership: the slices point into the controller's reusable scratch and are
+// overwritten by the next Step on the same MPC. Callers that retain them
+// across steps must copy.
 type StepOutput struct {
 	// DeltaU is the first move ΔU(k|k).
 	DeltaU []float64
@@ -182,15 +210,19 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc := &m.sc
 
-	gamV, err := mat.MulVec(model.Gamma, model.DisturbanceVec(in.Servers))
-	if err != nil {
+	sc.dist = mat.GrowVec(sc.dist, top.N())
+	model.DisturbanceVecInto(sc.dist, in.Servers)
+	sc.gamV = mat.GrowVec(sc.gamV, ns)
+	if err := mat.MulVecInto(sc.gamV, model.Gamma, sc.dist); err != nil {
 		return nil, err
 	}
+	gamV := sc.gamV
 
 	// Free response and reference → stacked residual d = ref − free(X, U, V).
 	ts := model.Ts()
-	prices := model.Prices()
+	prices := model.prices // read-only; Prices() would copy per step
 	refCostRate := in.RefCostRate
 	if refCostRate == 0 && m.cfg.CostWeight > 0 {
 		for j := range prices {
@@ -208,22 +240,25 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 		}
 		return in.RefPowerTraj[len(in.RefPowerTraj)-1]
 	}
-	d := make([]float64, ns*b1)
+	sc.d = mat.GrowVec(sc.d, ns*b1)
+	d := sc.d
 	// Energy references integrate the per-step power references.
-	refEnergy := make([]float64, top.N())
+	sc.refEnergy = mat.GrowVec(sc.refEnergy, top.N())
+	refEnergy := sc.refEnergy
 	copy(refEnergy, in.State[1:])
 	refCost := in.State[0]
+	sc.free = mat.GrowVec(sc.free, ns)
+	sc.xiU = mat.GrowVec(sc.xiU, ns)
+	sc.omega = mat.GrowVec(sc.omega, ns)
+	free, xiU, omega := sc.free, sc.xiU, sc.omega
 	for s := 1; s <= b1; s++ {
-		free, err := mat.MulVec(cd.phiPow[s], in.State)
-		if err != nil {
+		if err := mat.MulVecInto(free, cd.phiPow[s], in.State); err != nil {
 			return nil, err
 		}
-		xiU, err := mat.MulVec(cd.cumG[s-1], in.PrevU)
-		if err != nil {
+		if err := mat.MulVecInto(xiU, cd.cumG[s-1], in.PrevU); err != nil {
 			return nil, err
 		}
-		omega, err := mat.MulVec(cd.cumPhi[s-1], gamV)
-		if err != nil {
+		if err := mat.MulVecInto(omega, cd.cumPhi[s-1], gamV); err != nil {
 			return nil, err
 		}
 		stepRef := refAt(s)
@@ -247,12 +282,13 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 		return nil, err
 	}
 
-	res, err := qp.SolveLSWith(&qp.LSProblem{
+	sc.ls = qp.LSProblem{
 		M: cd.theta, D: d, Wq: cd.wq, Wr: cd.wr,
 		Aeq: cd.aeq, Beq: beq,
 		Ain: cd.ain, Bin: bin,
 		X0: m.warmStart(nu, b2, cd.aeq, beq, cd.ain, bin),
-	}, cd.form, cd.ws)
+	}
+	res, err := qp.SolveLSWith(&sc.ls, cd.form, cd.ws)
 	if err != nil {
 		if errors.Is(err, qp.ErrInfeasible) {
 			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
@@ -261,42 +297,53 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	}
 
 	m.prevZ = append(m.prevZ[:0], res.X...)
-	deltaU := make([]float64, nu)
-	copy(deltaU, res.X[:nu])
-	u := mat.AddVec(in.PrevU, deltaU)
-	clampNonnegative(u, 1e-7*(1+mat.NormInfVec(u)))
 
-	// Predicted trajectory under the planned z.
-	thz, err := mat.MulVec(cd.theta, res.X)
-	if err != nil {
+	// Predicted trajectory under the planned z. Computed before u: in.PrevU
+	// may alias the previous output's U buffer (sc.u), so every read of it
+	// must precede the write below.
+	sc.thz = mat.GrowVec(sc.thz, ns*b1)
+	thz := sc.thz
+	if err := mat.MulVecInto(thz, cd.theta, res.X); err != nil {
 		return nil, err
 	}
-	preds := make([][]float64, b1)
+	sc.predBuf = mat.GrowVec(sc.predBuf, ns*b1)
+	if len(sc.preds) != b1 {
+		sc.preds = make([][]float64, b1)
+	}
+	preds := sc.preds
 	for s := 1; s <= b1; s++ {
-		free, err := mat.MulVec(cd.phiPow[s], in.State)
-		if err != nil {
+		if err := mat.MulVecInto(free, cd.phiPow[s], in.State); err != nil {
 			return nil, err
 		}
-		xiU, err := mat.MulVec(cd.cumG[s-1], in.PrevU)
-		if err != nil {
+		if err := mat.MulVecInto(xiU, cd.cumG[s-1], in.PrevU); err != nil {
 			return nil, err
 		}
-		omega, err := mat.MulVec(cd.cumPhi[s-1], gamV)
-		if err != nil {
+		if err := mat.MulVecInto(omega, cd.cumPhi[s-1], gamV); err != nil {
 			return nil, err
 		}
-		row := make([]float64, ns)
+		row := sc.predBuf[(s-1)*ns : s*ns]
 		for i := 0; i < ns; i++ {
 			row[i] = free[i] + xiU[i] + omega[i] + thz[(s-1)*ns+i]
 		}
 		preds[s-1] = row
 	}
-	return &StepOutput{
+
+	sc.deltaU = mat.GrowVec(sc.deltaU, nu)
+	deltaU := sc.deltaU
+	copy(deltaU, res.X[:nu])
+	sc.u = mat.GrowVec(sc.u, nu)
+	u := sc.u
+	// Same-index read-then-write, safe when u aliases in.PrevU.
+	mat.AddVecInto(u, in.PrevU, deltaU)
+	clampNonnegative(u, 1e-7*(1+mat.NormInfVec(u)))
+
+	sc.out = StepOutput{
 		DeltaU:          deltaU,
 		U:               u,
 		PredictedStates: preds,
 		QPIterations:    res.Iterations,
-	}, nil
+	}
+	return &sc.out, nil
 }
 
 // warmStart returns the best available feasible starting point: the
@@ -304,24 +351,35 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 // unchanged), else the zero move. qp.Solve re-checks feasibility and runs
 // its LP phase only if the returned point is infeasible too.
 func (m *MPC) warmStart(nu, b2 int, aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64) []float64 {
-	zero := make([]float64, nu*b2)
+	sc := &m.sc
+	sc.zero = mat.GrowVec(sc.zero, nu*b2)
+	zero := sc.zero
+	for i := range zero { // reused buffer: clear stale contents
+		zero[i] = 0
+	}
 	if len(m.prevZ) != nu*b2 {
 		return zero
 	}
-	shifted := make([]float64, nu*b2)
+	sc.shifted = mat.GrowVec(sc.shifted, nu*b2)
+	shifted := sc.shifted
+	for i := range shifted {
+		shifted[i] = 0
+	}
 	copy(shifted, m.prevZ[nu:])
-	if pointFeasible(shifted, aeq, beq, ain, bin) {
+	if m.pointFeasible(shifted, aeq, beq, ain, bin) {
 		return shifted
 	}
 	return zero
 }
 
 // pointFeasible checks Aeq·z = beq and Ain·z ≤ bin within tolerance.
-func pointFeasible(z []float64, aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64) bool {
+func (m *MPC) pointFeasible(z []float64, aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64) bool {
 	const tol = 1e-7
+	sc := &m.sc
 	if aeq != nil {
-		v, err := mat.MulVec(aeq, z)
-		if err != nil {
+		sc.feasBuf = mat.GrowVec(sc.feasBuf, aeq.Rows())
+		v := sc.feasBuf
+		if err := mat.MulVecInto(v, aeq, z); err != nil {
 			return false
 		}
 		for i := range beq {
@@ -332,8 +390,9 @@ func pointFeasible(z []float64, aeq *mat.Dense, beq []float64, ain *mat.Dense, b
 		}
 	}
 	if ain != nil {
-		v, err := mat.MulVec(ain, z)
-		if err != nil {
+		sc.feasBuf = mat.GrowVec(sc.feasBuf, ain.Rows())
+		v := sc.feasBuf
+		if err := mat.MulVecInto(v, ain, z); err != nil {
 			return false
 		}
 		for i := range bin {
@@ -380,21 +439,27 @@ func (m *MPC) constraintRHS(cd *condensed, in StepInput) (beq, bin []float64, er
 	c := top.C()
 	n := top.N()
 
-	phi, err := top.LatencyRHS(in.Model.CapServers(in.Servers))
-	if err != nil {
+	sc := &m.sc
+	sc.capSrv = in.Model.CapServersInto(sc.capSrv, in.Servers)
+	sc.phi = mat.GrowVec(sc.phi, n)
+	phi := sc.phi
+	if err := top.LatencyRHSInto(phi, sc.capSrv); err != nil {
 		return nil, nil, err
 	}
-	hPrev, err := mat.MulVec(cd.consH, in.PrevU)
-	if err != nil {
+	sc.hPrev = mat.GrowVec(sc.hPrev, c)
+	hPrev := sc.hPrev
+	if err := mat.MulVecInto(hPrev, cd.consH, in.PrevU); err != nil {
 		return nil, nil, err
 	}
-	psiPrev, err := mat.MulVec(cd.psi, in.PrevU)
-	if err != nil {
+	sc.psiPrev = mat.GrowVec(sc.psiPrev, n)
+	psiPrev := sc.psiPrev
+	if err := mat.MulVecInto(psiPrev, cd.psi, in.PrevU); err != nil {
 		return nil, nil, err
 	}
 
-	beq = make([]float64, c*b2)
-	bin = make([]float64, (n+nu)*b2)
+	sc.beq = mat.GrowVec(sc.beq, c*b2)
+	sc.bin = mat.GrowVec(sc.bin, (n+nu)*b2)
+	beq, bin = sc.beq, sc.bin
 	for s := 0; s < b2; s++ {
 		for i := 0; i < c; i++ {
 			beq[s*c+i] = in.Demands[i] - hPrev[i]

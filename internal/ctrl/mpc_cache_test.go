@@ -102,7 +102,9 @@ func TestCondensedCacheBitIdentical(t *testing.T) {
 			}
 		}
 		// Advance the shared closed loop with the (identical) move.
-		u = outC.U
+		// outC.U is scratch-backed and overwritten by cached's next Step,
+		// so copy it into the test-owned buffer.
+		u = append(u[:0], outC.U...)
 		state, err = model.Step(state, u, servers)
 		if err != nil {
 			t.Fatalf("model.Step: %v", err)

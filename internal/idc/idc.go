@@ -194,18 +194,29 @@ func (t *Topology) LatencyMatrix() *mat.Dense {
 // LatencyRHS builds the φ of Ψ·U ≤ φ: φ_j = µ_j·m_j − 1/D_j for the given
 // active-server counts.
 func (t *Topology) LatencyRHS(servers []int) ([]float64, error) {
-	if len(servers) != len(t.idcs) {
-		return nil, fmt.Errorf("%d server counts for %d IDCs: %w", len(servers), len(t.idcs), ErrBadTopology)
-	}
 	phi := make([]float64, len(t.idcs))
+	if err := t.LatencyRHSInto(phi, servers); err != nil {
+		return nil, err
+	}
+	return phi, nil
+}
+
+// LatencyRHSInto is LatencyRHS writing into dst, which must have length N.
+func (t *Topology) LatencyRHSInto(dst []float64, servers []int) error {
+	if len(servers) != len(t.idcs) {
+		return fmt.Errorf("%d server counts for %d IDCs: %w", len(servers), len(t.idcs), ErrBadTopology)
+	}
+	if len(dst) != len(t.idcs) {
+		return fmt.Errorf("latency rhs dst length %d for %d IDCs: %w", len(dst), len(t.idcs), ErrBadTopology)
+	}
 	for j := range t.idcs {
 		cap, err := queueing.MaxThroughput(servers[j], t.idcs[j].ServiceRate, t.idcs[j].DelayBound)
 		if err != nil {
-			return nil, fmt.Errorf("idc %s: %w", t.idcs[j].Name, err)
+			return fmt.Errorf("idc %s: %w", t.idcs[j].Name, err)
 		}
-		phi[j] = cap
+		dst[j] = cap
 	}
-	return phi, nil
+	return nil
 }
 
 // LatencyCaps builds the latency/capacity inequalities of eqs. (30)–(33):

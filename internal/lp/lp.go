@@ -113,14 +113,28 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("C[%d] = %v: %w", i, v, ErrBadProblem)
 		}
 	}
+	for i, v := range p.Beq {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("Beq[%d] = %v: %w", i, v, ErrBadProblem)
+		}
+	}
+	for i, v := range p.Bub {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("Bub[%d] = %v: %w", i, v, ErrBadProblem)
+		}
+	}
 	return nil
 }
 
 const (
-	pivotTol   = 1e-9
-	feasTol    = 1e-7
-	blandAfter = 500
+	pivotTol = 1e-9
+	feasTol  = 1e-7
 )
+
+// blandAfter is the per-iterate() pivot count after which Dantzig pricing
+// switches to Bland's rule to break cycles. A variable (not a const) so the
+// degenerate-warm-start test can force the fallback early.
+var blandAfter = 500
 
 // Solve runs the two-phase simplex method on p.
 func Solve(p *Problem) (*Result, error) {
@@ -153,6 +167,9 @@ type tableau struct {
 	flipped []bool
 	// artOfRow[r] is the artificial column created for row r, or −1.
 	artOfRow []int
+	// blandPivots counts pivots taken under Bland's anti-cycling rule, across
+	// the tableau's lifetime. Observability for the degenerate-warm-start test.
+	blandPivots int
 }
 
 func newTableau(p *Problem) *tableau {
@@ -279,6 +296,14 @@ func (t *tableau) run() *Result {
 	// Phase 2 cost: original C, artificials forbidden via +inf barrier is
 	// handled by never letting them enter (entering loop skips them).
 	copy(cost, t.phase2Cost)
+	return t.phase2(cost)
+}
+
+// phase2 runs phase-2 pivots from the current basis with the given cost row
+// and extracts the result. The cold path (run) and the warm-start path
+// (Solver) share it, so both produce results via the same pivot rule,
+// tolerances, and extraction code.
+func (t *tableau) phase2(cost []float64) *Result {
 	st := t.iterate(cost, math.Inf(1))
 	switch st {
 	case Unbounded:
@@ -415,6 +440,9 @@ func (t *tableau) iterate(cost []float64, _ float64) Status {
 		}
 		if leave == -1 {
 			return Unbounded
+		}
+		if useBland {
+			t.blandPivots++
 		}
 		t.pivot(leave, enter)
 	}

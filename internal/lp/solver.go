@@ -1,0 +1,166 @@
+package lp
+
+import (
+	"repro/internal/mat"
+)
+
+// Solver is a stateful LP solver that retains its simplex tableau between
+// calls so that repeated solves over the same constraint set with changing
+// cost vectors (the slow-loop reference LP re-solved on every hourly price
+// move) can warm-start from the previous optimal basis.
+//
+// Warm-start contract (see DESIGN.md §3.5):
+//
+//   - A resolve warm-starts iff the previous solve on this Solver reached
+//     Optimal, the new problem's constraints (Aeq, Beq, Aub, Bub) are
+//     value-identical to the previous ones, and the retained basis is still
+//     primal feasible (all tableau rhs ≥ −feasTol). Only C may change.
+//   - A warm resolve runs phase-2 pivots only, with the same Dantzig pricing,
+//     Bland anti-cycling fallback, tolerances, and result extraction as the
+//     cold path — the two paths share tableau.phase2/iterate verbatim. The
+//     pivot *sequence* may differ from a cold solve (it starts from a
+//     different basis), so X can differ within the optimal face on degenerate
+//     problems; objectives agree to solver tolerance.
+//   - Anything else — first call, non-Optimal previous status, changed
+//     constraint shape or values, infeasible retained basis, or a warm
+//     iteration that fails to reach Optimal — falls back to the cold
+//     two-phase path automatically. The fallback is always sound because the
+//     cold path never reads retained state.
+//
+// The zero value is ready for use. A Solver is not safe for concurrent use.
+type Solver struct {
+	t *tableau
+
+	// Constraint snapshot backing the warm-start eligibility check. Deep
+	// copies: callers may mutate their Problem between calls.
+	aeq, aub *mat.Dense
+	beq, bub []float64
+	nOrig    int
+
+	lastOptimal bool
+
+	costBuf []float64 // phase-2 cost row scratch for warm resolves
+
+	warm, cold int
+}
+
+// Solve solves p, warm-starting from the previous optimal basis when only the
+// cost vector changed. It is a drop-in replacement for the package-level
+// Solve.
+func (s *Solver) Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if s.canWarmStart(p) {
+		if res := s.warmSolve(p); res != nil {
+			return res, nil
+		}
+	}
+	return s.coldSolve(p), nil
+}
+
+// Stats reports how many solves took the warm path and how many the cold
+// two-phase path.
+func (s *Solver) Stats() (warm, cold int) { return s.warm, s.cold }
+
+// Reset drops all retained state; the next Solve runs cold.
+func (s *Solver) Reset() {
+	s.t = nil
+	s.lastOptimal = false
+}
+
+// canWarmStart reports whether p differs from the snapshot only in C and the
+// retained basis is still primal feasible.
+func (s *Solver) canWarmStart(p *Problem) bool {
+	if s.t == nil || !s.lastOptimal {
+		return false
+	}
+	if len(p.C) != s.nOrig {
+		return false
+	}
+	if !mat.Equal(p.Aeq, s.aeq) || !mat.Equal(p.Aub, s.aub) {
+		return false
+	}
+	if !vecEqual(p.Beq, s.beq) || !vecEqual(p.Bub, s.bub) {
+		return false
+	}
+	// Retained basis must be primal feasible. With unchanged constraints the
+	// rhs column is exactly the previous optimal basic solution, so this only
+	// guards against numerical drift.
+	rhs := s.t.rhsCol()
+	for r := 0; r < s.t.m; r++ {
+		if s.t.a[r][rhs] < -feasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// warmSolve re-optimizes phase 2 of the retained tableau with p's cost
+// vector. Returns nil if the warm iteration did not reach Optimal, in which
+// case the caller falls back to the cold path.
+func (s *Solver) warmSolve(p *Problem) *Result {
+	t := s.t
+	copy(t.phase2Cost[:t.nOrig], p.C)
+	// phase2Cost's slack/artificial tail is zero by construction and never
+	// written, so only the original-variable prefix needs refreshing.
+	s.costBuf = mat.GrowVec(s.costBuf, t.rhsCol())
+	cost := s.costBuf
+	for i := range cost {
+		cost[i] = 0
+	}
+	copy(cost, t.phase2Cost)
+	res := t.phase2(cost)
+	if res.Status != Optimal {
+		// A changed cost vector cannot make a feasible problem infeasible;
+		// unbounded or iteration-limited warm runs are re-tried cold so the
+		// caller sees exactly what a fresh Solve would report.
+		s.lastOptimal = false
+		return nil
+	}
+	s.warm++
+	return res
+}
+
+// coldSolve runs the full two-phase method on a fresh tableau and snapshots
+// the constraints for future warm starts.
+func (s *Solver) coldSolve(p *Problem) *Result {
+	t := newTableau(p)
+	res := t.run()
+	s.t = t
+	s.nOrig = len(p.C)
+	s.snapshot(p)
+	s.lastOptimal = res.Status == Optimal
+	s.cold++
+	return res
+}
+
+func (s *Solver) snapshot(p *Problem) {
+	s.aeq = cloneOrNil(s.aeq, p.Aeq)
+	s.aub = cloneOrNil(s.aub, p.Aub)
+	s.beq = append(s.beq[:0], p.Beq...)
+	s.bub = append(s.bub[:0], p.Bub...)
+}
+
+// cloneOrNil deep-copies src into dst's storage (reusing it when shapes
+// allow), or returns nil for a nil src.
+func cloneOrNil(dst, src *mat.Dense) *mat.Dense {
+	if src == nil {
+		return nil
+	}
+	dst = mat.ReuseDense(dst, src.Rows(), src.Cols())
+	dst.SetBlock(0, 0, src)
+	return dst
+}
+
+func vecEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -16,18 +16,33 @@ type Cholesky struct {
 // positive definite matrix a. Only the lower triangle of a is read.
 // It returns ErrSingular if a is not positive definite to working precision.
 func FactorCholesky(a *Dense) (*Cholesky, error) {
+	c := &Cholesky{}
+	if err := c.Factor(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factor recomputes the factorization in place, reusing c's storage when it
+// has capacity. On error c is left in an unusable state and must be
+// re-factored before solving. The zero value of Cholesky is ready for Factor.
+func (c *Cholesky) Factor(a *Dense) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("mat: cholesky of %dx%d: %w", a.rows, a.cols, ErrShape)
+		return fmt.Errorf("mat: cholesky of %dx%d: %w", a.rows, a.cols, ErrShape)
 	}
 	n := a.rows
-	l := Zeros(n, n)
+	// Zeroing reshape: only the lower triangle is written below, the strict
+	// upper triangle must be zero.
+	l := ReuseDense(c.l, n, n)
+	c.l, c.n = l, n
 	for j := 0; j < n; j++ {
 		d := a.data[j*n+j]
 		for k := 0; k < j; k++ {
 			d -= l.data[j*n+k] * l.data[j*n+k]
 		}
 		if d <= 0 {
-			return nil, fmt.Errorf("mat: non-positive-definite at column %d (d=%g): %w", j, d, ErrSingular)
+			c.n = 0
+			return fmt.Errorf("mat: non-positive-definite at column %d (d=%g): %w", j, d, ErrSingular)
 		}
 		dj := math.Sqrt(d)
 		l.data[j*n+j] = dj
@@ -39,7 +54,7 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 			l.data[i*n+j] = s / dj
 		}
 	}
-	return &Cholesky{l: l, n: n}, nil
+	return nil
 }
 
 // L returns a copy of the lower-triangular factor.
@@ -73,9 +88,25 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 	if len(b) != c.n {
 		return nil, fmt.Errorf("mat: cholesky solve rhs length %d, want %d: %w", len(b), c.n, ErrShape)
 	}
+	y := make([]float64, c.n)
+	if err := c.SolveVecInto(y, b); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// SolveVecInto solves A*x = b, writing x into dst. dst must have length n.
+// dst MAY alias b: the forward sweep reads b[i] before writing dst[i].
+func (c *Cholesky) SolveVecInto(dst, b []float64) error {
+	if len(b) != c.n {
+		return fmt.Errorf("mat: cholesky solve rhs length %d, want %d: %w", len(b), c.n, ErrShape)
+	}
+	if len(dst) != c.n {
+		return dstLenErr("cholesky solve", len(dst), c.n)
+	}
 	n := c.n
 	// Forward: L*y = b.
-	y := make([]float64, n)
+	y := dst
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -91,7 +122,7 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 		}
 		y[i] = s / c.l.data[i*n+i]
 	}
-	return y, nil
+	return nil
 }
 
 // Solve solves A*X = B column by column.

@@ -54,11 +54,15 @@ func Expm(a *Dense) (*Dense, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Repeated squaring with a double buffer instead of a fresh matrix per
+	// square.
+	var sq *Dense
 	for i := 0; i < s; i++ {
-		e, err = Mul(e, e)
+		sq, err = MulInto(sq, e, e)
 		if err != nil {
 			return nil, err
 		}
+		e, sq = sq, e
 	}
 	return e, nil
 }
@@ -82,6 +86,10 @@ func (m *Dense) Norm1() float64 {
 }
 
 // padeExpm evaluates the [deg/deg] Padé approximant of e^A.
+//
+// The polynomial accumulations reuse three scratch matrices (s1..s3) instead
+// of allocating one matrix per Scale/Add term; the association order of every
+// sum is unchanged, so results are bit-identical to the naive evaluation.
 func padeExpm(a *Dense, deg int) (*Dense, error) {
 	n := a.rows
 	ident := Identity(n)
@@ -89,6 +97,7 @@ func padeExpm(a *Dense, deg int) (*Dense, error) {
 	if err != nil {
 		return nil, err
 	}
+	var s1, s2, s3 *Dense
 	var u, v *Dense
 	switch deg {
 	case 3, 5, 7, 9:
@@ -105,8 +114,10 @@ func padeExpm(a *Dense, deg int) (*Dense, error) {
 		uPoly := Zeros(n, n)
 		vPoly := Zeros(n, n)
 		for k := 0; k <= deg/2; k++ {
-			uPoly = mustAdd(uPoly, Scale(coeffs[2*k+1], pows[k]))
-			vPoly = mustAdd(vPoly, Scale(coeffs[2*k], pows[k]))
+			s1 = ScaleInto(s1, coeffs[2*k+1], pows[k])
+			uPoly = mustAddInto(uPoly, uPoly, s1)
+			s1 = ScaleInto(s1, coeffs[2*k], pows[k])
+			vPoly = mustAddInto(vPoly, vPoly, s1)
 		}
 		u, err = Mul(a, uPoly)
 		if err != nil {
@@ -124,29 +135,52 @@ func padeExpm(a *Dense, deg int) (*Dense, error) {
 			return nil, err
 		}
 		// u = A*(A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
-		inner := mustAdd(mustAdd(Scale(b[13], a6), Scale(b[11], a4)), Scale(b[9], a2))
+		s1 = ScaleInto(s1, b[13], a6)
+		s2 = ScaleInto(s2, b[11], a4)
+		inner := mustAddInto(nil, s1, s2)
+		s1 = ScaleInto(s1, b[9], a2)
+		inner = mustAddInto(inner, inner, s1)
 		t, err := Mul(a6, inner)
 		if err != nil {
 			return nil, err
 		}
-		t = mustAdd(t, mustAdd(mustAdd(Scale(b[7], a6), Scale(b[5], a4)), mustAdd(Scale(b[3], a2), Scale(b[1], ident))))
+		s1 = ScaleInto(s1, b[7], a6)
+		s2 = ScaleInto(s2, b[5], a4)
+		s1 = mustAddInto(s1, s1, s2)
+		s2 = ScaleInto(s2, b[3], a2)
+		s3 = ScaleInto(s3, b[1], ident)
+		s2 = mustAddInto(s2, s2, s3)
+		s1 = mustAddInto(s1, s1, s2)
+		t = mustAddInto(t, t, s1)
 		u, err = Mul(a, t)
 		if err != nil {
 			return nil, err
 		}
 		// v = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
-		inner = mustAdd(mustAdd(Scale(b[12], a6), Scale(b[10], a4)), Scale(b[8], a2))
-		v, err = Mul(a6, inner)
+		s1 = ScaleInto(s1, b[12], a6)
+		s2 = ScaleInto(s2, b[10], a4)
+		inner = mustAddInto(inner, s1, s2)
+		s1 = ScaleInto(s1, b[8], a2)
+		inner = mustAddInto(inner, inner, s1)
+		// t is dead here; reuse its storage for v.
+		v, err = MulInto(t, a6, inner)
 		if err != nil {
 			return nil, err
 		}
-		v = mustAdd(v, mustAdd(mustAdd(Scale(b[6], a6), Scale(b[4], a4)), mustAdd(Scale(b[2], a2), Scale(b[0], ident))))
+		s1 = ScaleInto(s1, b[6], a6)
+		s2 = ScaleInto(s2, b[4], a4)
+		s1 = mustAddInto(s1, s1, s2)
+		s2 = ScaleInto(s2, b[2], a2)
+		s3 = ScaleInto(s3, b[0], ident)
+		s2 = mustAddInto(s2, s2, s3)
+		s1 = mustAddInto(s1, s1, s2)
+		v = mustAddInto(v, v, s1)
 	default:
 		return nil, fmt.Errorf("mat: unsupported padé degree %d", deg)
 	}
-	// Solve (v - u) X = (v + u).
-	num := mustAdd(v, u)
-	den, err := Sub(v, u)
+	// Solve (v - u) X = (v + u). s1/s2 are dead; reuse for num/den.
+	num := mustAddInto(s1, v, u)
+	den, err := SubInto(s2, v, u)
 	if err != nil {
 		return nil, err
 	}
@@ -157,8 +191,10 @@ func padeExpm(a *Dense, deg int) (*Dense, error) {
 	return x, nil
 }
 
-func mustAdd(a, b *Dense) *Dense {
-	out, err := Add(a, b)
+func mustAdd(a, b *Dense) *Dense { return mustAddInto(nil, a, b) }
+
+func mustAddInto(dst, a, b *Dense) *Dense {
+	out, err := AddInto(dst, a, b)
 	if err != nil {
 		panic(err)
 	}

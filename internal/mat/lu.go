@@ -18,15 +18,33 @@ type LU struct {
 // pivoting. It returns ErrSingular if a pivot is exactly zero; callers that
 // need a tolerance should inspect MinPivot.
 func FactorLU(a *Dense) (*LU, error) {
+	f := &LU{}
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factor recomputes the factorization in place, reusing f's storage when it
+// has capacity. On error f is left in an unusable state and must be
+// re-factored before solving. The zero value of LU is ready for Factor.
+func (f *LU) Factor(a *Dense) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("mat: LU of %dx%d: %w", a.rows, a.cols, ErrShape)
+		return fmt.Errorf("mat: LU of %dx%d: %w", a.rows, a.cols, ErrShape)
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	lu := reuseUnset(f.lu, n, n)
+	copy(lu.data, a.data)
+	piv := f.piv
+	if cap(piv) < n {
+		piv = make([]int, n)
+	} else {
+		piv = piv[:n]
+	}
 	for i := range piv {
 		piv[i] = i
 	}
+	f.lu, f.piv, f.n = lu, piv, n
 	signs := 1
 	for k := 0; k < n; k++ {
 		// Partial pivot: find the largest |entry| in column k at/below row k.
@@ -38,7 +56,8 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 		if max == 0 {
-			return nil, fmt.Errorf("mat: zero pivot at column %d: %w", k, ErrSingular)
+			f.n = 0
+			return fmt.Errorf("mat: zero pivot at column %d: %w", k, ErrSingular)
 		}
 		if p != k {
 			swapRows(lu, p, k)
@@ -57,7 +76,8 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, signs: signs, n: n}, nil
+	f.signs = signs
+	return nil
 }
 
 func swapRows(m *Dense, i, j int) {
@@ -94,8 +114,25 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 	if len(b) != f.n {
 		return nil, fmt.Errorf("mat: LU solve rhs length %d, want %d: %w", len(b), f.n, ErrShape)
 	}
+	x := make([]float64, f.n)
+	if err := f.SolveVecInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveVecInto solves A*x = b, writing x into dst. dst must have length n and
+// must NOT alias b: the permutation gather reads b out of order after dst
+// entries have been written.
+func (f *LU) SolveVecInto(dst, b []float64) error {
+	if len(b) != f.n {
+		return fmt.Errorf("mat: LU solve rhs length %d, want %d: %w", len(b), f.n, ErrShape)
+	}
+	if len(dst) != f.n {
+		return dstLenErr("lu solve", len(dst), f.n)
+	}
 	n := f.n
-	x := make([]float64, n)
+	x := dst
 	// Apply permutation: x = P*b.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
@@ -117,7 +154,7 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 		}
 		x[i] = (x[i] - s) / f.lu.data[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // Solve solves A*X = B for the matrix X, column by column.

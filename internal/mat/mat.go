@@ -144,85 +144,30 @@ func (m *Dense) SetRow(i int, v []float64) {
 	copy(m.data[i*m.cols:(i+1)*m.cols], v)
 }
 
-// T returns the transpose of m as a new matrix.
-func (m *Dense) T() *Dense {
-	out := Zeros(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			out.data[j*out.cols+i] = m.data[i*m.cols+j]
-		}
-	}
-	return out
-}
+// T returns the transpose of m as a new matrix. For an allocation-free
+// variant see TransposeInto.
+func (m *Dense) T() *Dense { return TransposeInto(nil, m) }
 
 // Add returns a + b.
-func Add(a, b *Dense) (*Dense, error) {
-	if a.rows != b.rows || a.cols != b.cols {
-		return nil, fmt.Errorf("mat: add %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
-	}
-	out := Zeros(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
-	return out, nil
-}
+func Add(a, b *Dense) (*Dense, error) { return AddInto(nil, a, b) }
 
 // Sub returns a - b.
-func Sub(a, b *Dense) (*Dense, error) {
-	if a.rows != b.rows || a.cols != b.cols {
-		return nil, fmt.Errorf("mat: sub %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
-	}
-	out := Zeros(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
-	return out, nil
-}
+func Sub(a, b *Dense) (*Dense, error) { return SubInto(nil, a, b) }
 
 // Scale returns s*a as a new matrix.
-func Scale(s float64, a *Dense) *Dense {
-	out := Zeros(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = s * a.data[i]
-	}
-	return out
-}
+func Scale(s float64, a *Dense) *Dense { return ScaleInto(nil, s, a) }
 
 // Mul returns the matrix product a*b.
-func Mul(a, b *Dense) (*Dense, error) {
-	if a.cols != b.rows {
-		return nil, fmt.Errorf("mat: mul %dx%d with %dx%d: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
-	}
-	out := Zeros(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out, nil
-}
+func Mul(a, b *Dense) (*Dense, error) { return MulInto(nil, a, b) }
 
 // MulVec returns the matrix-vector product a*x.
 func MulVec(a *Dense, x []float64) ([]float64, error) {
 	if a.cols != len(x) {
-		return nil, fmt.Errorf("mat: mulvec %dx%d with len %d: %w", a.rows, a.cols, len(x), ErrShape)
+		return nil, vecShapeErr("mulvec", a, len(x))
 	}
 	out := make([]float64, a.rows)
-	for i := 0; i < a.rows; i++ {
-		row := a.data[i*a.cols : (i+1)*a.cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
+	if err := MulVecInto(out, a, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -230,18 +175,11 @@ func MulVec(a *Dense, x []float64) ([]float64, error) {
 // MulTVec returns aᵀ*x.
 func MulTVec(a *Dense, x []float64) ([]float64, error) {
 	if a.rows != len(x) {
-		return nil, fmt.Errorf("mat: multvec %dx%d with len %d: %w", a.rows, a.cols, len(x), ErrShape)
+		return nil, vecShapeErr("multvec", a, len(x))
 	}
 	out := make([]float64, a.cols)
-	for i := 0; i < a.rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := a.data[i*a.cols : (i+1)*a.cols]
-		for j, v := range row {
-			out[j] += xi * v
-		}
+	if err := MulTVecInto(out, a, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

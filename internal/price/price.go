@@ -9,7 +9,7 @@
 // redistributable, so the embedded traces are synthetic reconstructions
 // anchored to the exact Table III values at hours 6 and 7 and shaped like
 // Fig. 2 (including Wisconsin's 7 a.m. spike and the early-morning negative
-// prices visible in the figure). See DESIGN.md §3.5.
+// prices visible in the figure). See DESIGN.md §3.6.
 package price
 
 import (

@@ -1,0 +1,51 @@
+// Package prof wires runtime/pprof behind the -cpuprofile/-memprofile flags
+// of the command-line tools, mirroring the semantics of `go test`'s flags of
+// the same names: the CPU profile covers the run, the heap profile is a
+// post-run snapshot taken after a forced GC.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap snapshot to
+// memPath (when non-empty). Either path may be empty; call stop exactly
+// once, after the measured work.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

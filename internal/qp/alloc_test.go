@@ -1,0 +1,45 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testenv"
+)
+
+// TestSolveWithSteadyStateAllocFree pins the tentpole property at the qp
+// layer: once the workspace scratch has grown to the problem's steady size
+// and the Schur caches are populated, re-solving the same problem structure
+// allocates nothing.
+func TestSolveWithSteadyStateAllocFree(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	r := rand.New(rand.NewSource(3))
+	n := 6
+	h, aeq, ain := workspaceFixture(r, n)
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = r.NormFloat64()
+	}
+	bin := make([]float64, 2*n)
+	for i := range bin {
+		bin[i] = 2
+	}
+	x0 := make([]float64, n)
+	p := &Problem{H: h, Q: q, Aeq: aeq, Beq: []float64{0}, Ain: ain, Bin: bin, X0: x0}
+	ws := NewWorkspace()
+	for i := 0; i < 3; i++ { // grow scratch, populate caches
+		if _, err := SolveWith(p, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := SolveWith(p, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state SolveWith allocated %v allocs/run, want 0", allocs)
+	}
+}

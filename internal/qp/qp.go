@@ -92,6 +92,11 @@ const (
 // Reusing a Workspace after H, Aeq or Ain changed produces wrong results —
 // build a fresh one instead. A nil *Workspace is accepted everywhere and
 // means "no cross-solve reuse". Not safe for concurrent use.
+//
+// Result ownership: SolveWith with a non-nil ws returns a Result whose X and
+// Active slices live in the workspace and are overwritten by the next solve
+// through the same ws. Callers that retain them across solves must copy.
+// Solve (nil ws) returns independently-owned results.
 type Workspace struct {
 	hChol  *mat.Cholesky
 	hReady bool
@@ -105,6 +110,27 @@ type Workspace struct {
 	// aeqRows/ainRows are the materialized constraint rows (Dense.Row
 	// copies), filled lazily.
 	aeqRows, ainRows [][]float64
+
+	// Grow-only scratch. Once every buffer has reached the problem's steady
+	// size, a SolveWith call that stays on the cached Schur path performs no
+	// heap allocations.
+	x0buf, xbuf []float64 // start point / iterate
+	grad        []float64 // Hx + q
+	negGrad     []float64 // −grad
+	y           []float64 // H⁻¹·(−grad)
+	dirBuf      []float64 // KKT step
+	rhs, lamBuf []float64 // Schur system rhs / multipliers
+	hxBuf       []float64 // objective evaluation
+	wd, q       []float64 // LS lowering: weighted residual, linear term
+	workRows    [][]float64
+	zrows       [][]float64
+	workIDs     []int
+	activeBuf   []bool
+	activeIdx   []int
+	schurBuf    *mat.Dense
+	sChol       mat.Cholesky
+	prob        Problem // backing store for SolveLSWith's lowered problem
+	res         Result
 }
 
 // NewWorkspace returns an empty workspace.
@@ -174,10 +200,14 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 		ws = NewWorkspace() // per-call scratch: no reuse, same arithmetic
 	}
 	n := p.H.Rows()
-	x := make([]float64, n)
+	ws.x0buf = mat.GrowVec(ws.x0buf, n)
+	x := ws.x0buf
+	for i := range x {
+		x[i] = 0
+	}
 	if p.X0 != nil {
 		copy(x, p.X0)
-		if !feasible(p, x, featol) {
+		if !ws.feasible(p, x, featol) {
 			fx, err := findFeasible(p)
 			if err != nil {
 				return nil, err
@@ -225,16 +255,25 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 // activeSetLoop runs the primal active-set iteration from the feasible
 // point x0 (copied), using the Schur path when hChol is non-nil.
 func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn int, ws *Workspace) (*Result, error) {
-	x := append([]float64{}, x0...)
+	ws.xbuf = mat.GrowVec(ws.xbuf, len(x0))
+	x := ws.xbuf
+	copy(x, x0)
 	aeqRows, ainRows := ws.rows(p)
 
 	// Working set over inequality indices.
-	active := make([]bool, mIn)
+	if cap(ws.activeBuf) < mIn {
+		ws.activeBuf = make([]bool, mIn)
+	}
+	active := ws.activeBuf[:mIn]
+	for i := range active {
+		active[i] = false
+	}
 	for i := 0; i < mIn; i++ {
 		if math.Abs(mat.Dot(ainRows[i], x)-p.Bin[i]) <= featol {
 			active[i] = true
 		}
 	}
+	ws.prune.beginSolve()
 	pruneDependent(aeqRows, ainRows, active, mEq, &ws.prune)
 
 	maxIters := 100 + 20*(n+mEq+mIn)
@@ -273,12 +312,13 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 				li++
 			}
 			if !dropped {
-				return &Result{
+				ws.res = Result{
 					X:          x,
-					Obj:        p.Objective(x),
+					Obj:        ws.objective(p, x),
 					Iterations: iter + 1,
-					Active:     activeList(active),
-				}, nil
+					Active:     ws.activeList(active),
+				}
+				return &ws.res, nil
 			}
 			fullSteps = 0
 			continue
@@ -330,8 +370,8 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 // factorization is used.
 func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows [][]float64, x []float64, active []bool, mEq int) (dir, lam []float64, err error) {
 	n := p.H.Rows()
-	workRows := make([][]float64, 0, mEq)
-	workIDs := make([]int, 0, mEq)
+	workRows := ws.workRows[:0]
+	workIDs := ws.workIDs[:0]
 	for i := 0; i < mEq; i++ {
 		workRows = append(workRows, aeqRows[i])
 		workIDs = append(workIDs, i)
@@ -342,8 +382,10 @@ func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows []
 			workIDs = append(workIDs, mEq+i)
 		}
 	}
-	grad, err := mat.MulVec(p.H, x)
-	if err != nil {
+	ws.workRows, ws.workIDs = workRows, workIDs
+	ws.grad = mat.GrowVec(ws.grad, n)
+	grad := ws.grad
+	if err := mat.MulVecInto(grad, p.H, x); err != nil {
 		return nil, nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -364,8 +406,11 @@ func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows []
 // Cholesky factorization of H.
 func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs []int, grad []float64, n int) (dir, lam []float64, err error) {
 	// y = −H⁻¹·grad is the unconstrained Newton step.
-	y, err := hChol.SolveVec(mat.ScaleVec(-1, grad))
-	if err != nil {
+	ws.negGrad = mat.GrowVec(ws.negGrad, n)
+	mat.ScaleVecInto(ws.negGrad, -1, grad)
+	ws.y = mat.GrowVec(ws.y, n)
+	y := ws.y
+	if err := hChol.SolveVecInto(y, ws.negGrad); err != nil {
 		return nil, nil, fmt.Errorf("qp: H solve: %w", err)
 	}
 	k := len(workRows)
@@ -373,18 +418,22 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 		return y, nil, nil
 	}
 	// Z = H⁻¹·Awᵀ column by column, cached per constraint for the lifetime
-	// of the workspace (H does not change while it is valid).
+	// of the workspace (H does not change while it is valid). Cache misses
+	// allocate their vector — it must outlive the call inside the map.
 	if ws.z == nil {
 		ws.z = make(map[int][]float64)
 	}
-	z := make([][]float64, k) // z[i] = H⁻¹·a_i
+	if cap(ws.zrows) < k {
+		ws.zrows = make([][]float64, k)
+	}
+	z := ws.zrows[:k] // z[i] = H⁻¹·a_i
 	for i, row := range workRows {
 		if cached, ok := ws.z[workIDs[i]]; ok {
 			z[i] = cached
 			continue
 		}
-		zi, err := hChol.SolveVec(row)
-		if err != nil {
+		zi := make([]float64, n)
+		if err := hChol.SolveVecInto(zi, row); err != nil {
 			return nil, nil, fmt.Errorf("qp: H solve: %w", err)
 		}
 		ws.z[workIDs[i]] = zi
@@ -398,7 +447,8 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	if ws.schur == nil {
 		ws.schur = make(map[[2]int]float64)
 	}
-	schur := mat.Zeros(k, k)
+	ws.schurBuf = mat.ReuseDense(ws.schurBuf, k, k)
+	schur := ws.schurBuf
 	for i := 0; i < k; i++ {
 		for j := i; j < k; j++ {
 			key := [2]int{workIDs[i], workIDs[j]}
@@ -412,20 +462,23 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 		}
 	}
 	// S·λ = Aw·y.
-	rhs := make([]float64, k)
+	ws.rhs = mat.GrowVec(ws.rhs, k)
+	rhs := ws.rhs
 	for i, row := range workRows {
 		rhs[i] = mat.Dot(row, y)
 	}
-	sChol, err := mat.FactorCholesky(schur)
-	if err != nil {
+	if err := ws.sChol.Factor(schur); err != nil {
 		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
 	}
-	lam, err = sChol.SolveVec(rhs)
-	if err != nil {
+	ws.lamBuf = mat.GrowVec(ws.lamBuf, k)
+	lam = ws.lamBuf
+	if err := ws.sChol.SolveVecInto(lam, rhs); err != nil {
 		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
 	}
 	// dir = y − Z·λ.
-	dir = append([]float64{}, y...)
+	ws.dirBuf = mat.GrowVec(ws.dirBuf, n)
+	dir = ws.dirBuf
+	copy(dir, y)
 	for i := 0; i < k; i++ {
 		li := lam[i]
 		if li == 0 {
@@ -468,18 +521,35 @@ func denseKKTStep(p *Problem, workRows [][]float64, grad []float64, n int) (dir,
 type pruneEntry struct {
 	id  int
 	vec []float64
+	// pruned records a dependent-row rejection. The entry holds no basis
+	// vector (vec is nil), so it never enters the orthogonalization; caching
+	// it lets a steady-state re-solve replay the rejection without redoing
+	// the Gram–Schmidt pass.
+	pruned bool
 }
 
 // pruneState caches the sequential Gram–Schmidt decisions of
-// pruneDependent. The entries mirror the processing order (equalities, then
+// pruneDependent. Entries mirror the processing order (equalities, then
 // active inequalities ascending); a decision at position k depends only on
 // the accepted rows before it, so while the id sequence matches, both the
 // decision and the basis vector are exactly what a cold run would compute —
 // reuse is bit-identical. The first position where the working set differs
 // invalidates the cached suffix.
+//
+// The working set evolves across the several pruneDependent calls of one
+// active-set solve, so a single shared sequence would be truncated and
+// rebuilt on every call. Instead each call index within a solve owns its
+// own cached sequence: a steady-state re-solve replays the same evolution
+// and hits every cache position, making the whole solve recompute- and
+// allocation-free.
 type pruneState struct {
-	entries []pruneEntry
+	seqs [][]pruneEntry
+	call int
 }
+
+// beginSolve rewinds the per-solve call counter so the first
+// pruneDependent call of this solve replays the first call of the last one.
+func (ps *pruneState) beginSolve() { ps.call = 0 }
 
 // pruneDependent removes active inequality constraints whose normals are
 // linearly dependent with the equality rows and earlier active rows, keeping
@@ -487,6 +557,10 @@ type pruneState struct {
 // modified Gram–Schmidt; with a warm pruneState only the rows at and after
 // the first working-set change are re-orthogonalized.
 func pruneDependent(aeqRows, ainRows [][]float64, active []bool, mEq int, ps *pruneState) {
+	if ps.call >= len(ps.seqs) {
+		ps.seqs = append(ps.seqs, nil)
+	}
+	entries := ps.seqs[ps.call]
 	pos := 0
 	// residualOf orthogonalizes row (twice, for numerical robustness)
 	// against the accepted basis prefix; it returns the normalized residual,
@@ -498,7 +572,7 @@ func pruneDependent(aeqRows, ainRows [][]float64, active []bool, mEq int, ps *pr
 		}
 		r := append([]float64{}, row...)
 		for pass := 0; pass < 2; pass++ {
-			for _, e := range ps.entries[:pos] {
+			for _, e := range entries[:pos] {
 				if e.vec == nil {
 					continue
 				}
@@ -521,17 +595,18 @@ func pruneDependent(aeqRows, ainRows [][]float64, active []bool, mEq int, ps *pr
 	// process advances the cached prefix through one candidate row and
 	// reports whether the row stays in the working set.
 	process := func(id int, row []float64, keepDependent bool) bool {
-		if pos < len(ps.entries) && ps.entries[pos].id == id {
-			pos++ // same row after the same prefix: decision and basis reused
-			return true
+		if pos < len(entries) && entries[pos].id == id {
+			// Same row after the same prefix: decision (and basis vector,
+			// when kept) reused.
+			kept := !entries[pos].pruned
+			pos++
+			return kept
 		}
 		vec := residualOf(row)
-		if vec == nil && !keepDependent {
-			return false // pruned rows join neither the set nor the cache
-		}
-		ps.entries = append(ps.entries[:pos], pruneEntry{id: id, vec: vec})
+		pruned := vec == nil && !keepDependent
+		entries = append(entries[:pos], pruneEntry{id: id, vec: vec, pruned: pruned})
 		pos++
-		return true
+		return !pruned
 	}
 	for i := 0; i < mEq; i++ {
 		process(i, aeqRows[i], true) // equalities always stay
@@ -546,6 +621,8 @@ func pruneDependent(aeqRows, ainRows [][]float64, active []bool, mEq int, ps *pr
 	}
 	// Entries beyond pos are kept: if those rows re-enter the working set
 	// after an identical prefix, their decisions are still exact.
+	ps.seqs[ps.call] = entries
+	ps.call++
 }
 
 func dropAny(active []bool) bool {
@@ -558,14 +635,46 @@ func dropAny(active []bool) bool {
 	return false
 }
 
-func activeList(active []bool) []int {
-	var out []int
+// activeList writes the ascending indices of the active set into the
+// workspace-owned slice; nil when empty, matching the cold path's semantics.
+func (ws *Workspace) activeList(active []bool) []int {
+	ws.activeIdx = ws.activeIdx[:0]
 	for i, a := range active {
 		if a {
-			out = append(out, i)
+			ws.activeIdx = append(ws.activeIdx, i)
 		}
 	}
-	return out
+	if len(ws.activeIdx) == 0 {
+		return nil
+	}
+	return ws.activeIdx
+}
+
+// objective is Problem.Objective evaluated through workspace scratch: the
+// same Hx product and dot products, without the fresh Hx vector.
+func (ws *Workspace) objective(p *Problem, x []float64) float64 {
+	ws.hxBuf = mat.GrowVec(ws.hxBuf, p.H.Rows())
+	if err := mat.MulVecInto(ws.hxBuf, p.H, x); err != nil {
+		return math.NaN()
+	}
+	return 0.5*mat.Dot(x, ws.hxBuf) + mat.Dot(p.Q, x)
+}
+
+// feasible is the package-level feasible check through the workspace's
+// materialized rows: the same per-row dot products, no Ax vector.
+func (ws *Workspace) feasible(p *Problem, x []float64, tol float64) bool {
+	aeqRows, ainRows := ws.rows(p)
+	for i, row := range aeqRows {
+		if math.Abs(mat.Dot(row, x)-p.Beq[i]) > tol {
+			return false
+		}
+	}
+	for i, row := range ainRows {
+		if mat.Dot(row, x) > p.Bin[i]+tol {
+			return false
+		}
+	}
+	return true
 }
 
 // feasible reports whether x satisfies all constraints within tol.
@@ -787,14 +896,37 @@ func SolveLSWith(l *LSProblem, form *LSForm, ws *Workspace) (*Result, error) {
 	if l.Wq != nil && len(l.Wq) != l.M.Rows() {
 		return nil, fmt.Errorf("wq has length %d, want %d: %w", len(l.Wq), l.M.Rows(), ErrBadProblem)
 	}
-	q, err := l.linearTerm()
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	q, err := l.linearTermInto(ws)
 	if err != nil {
 		return nil, err
 	}
-	return SolveWith(&Problem{
+	ws.prob = Problem{
 		H: form.h, Q: q,
 		Aeq: l.Aeq, Beq: l.Beq,
 		Ain: l.Ain, Bin: l.Bin,
 		X0: l.X0,
-	}, ws)
+	}
+	return SolveWith(&ws.prob, ws)
+}
+
+// linearTermInto is linearTerm evaluated through workspace scratch:
+// identical arithmetic, reused buffers.
+func (l *LSProblem) linearTermInto(ws *Workspace) ([]float64, error) {
+	ws.wd = mat.GrowVec(ws.wd, len(l.D))
+	wd := ws.wd
+	copy(wd, l.D)
+	if l.Wq != nil {
+		for i := range wd {
+			wd[i] *= l.Wq[i]
+		}
+	}
+	ws.q = mat.GrowVec(ws.q, l.M.Cols())
+	if err := mat.MulTVecInto(ws.q, l.M, wd); err != nil {
+		return nil, err
+	}
+	mat.ScaleVecInto(ws.q, -2, ws.q)
+	return ws.q, nil
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testenv exposes build-time test environment facts, currently just
+// whether the race detector is active. Allocation-regression tests skip under
+// race instrumentation because it changes allocation behaviour.
+package testenv
+
+// RaceEnabled reports whether the race detector is active in this build.
+const RaceEnabled = false

@@ -138,6 +138,15 @@ func OptimalAllocationWithBudgets(top *Topology, prices, demands, budgets []floa
 	return alloc.OptimizeWithBudgets(top, prices, demands, budgets)
 }
 
+// ReferenceSolver is a stateful eq. (46) optimizer that warm-starts the LP
+// across calls with unchanged constraints (same topology, demands and
+// budgets) — the hourly price-update pattern of the slow loop. See
+// alloc.Solver for the warm-start and fallback contract.
+type ReferenceSolver = alloc.Solver
+
+// NewReferenceSolver returns a ready ReferenceSolver.
+func NewReferenceSolver() *ReferenceSolver { return alloc.NewSolver() }
+
 // BaselineAllocation is the paper's published "optimal method" behaviour:
 // price-ordered filling with peak-power accounting.
 func BaselineAllocation(top *Topology, prices, demands []float64) (*AllocResult, error) {
