@@ -1,29 +1,35 @@
 # Developer workflow for the IDC cost-control reproduction.
 #
-#   make check   — the tier-1 gate plus vet and the race detector; run this
-#                  before every push. The race pass matters: sim.Run and
-#                  experiments.RunAll spawn goroutines. The non-race test
+#   make check   — the tier-1 gate plus vet, idclint, and the race detector;
+#                  run this before every push. The race pass matters: sim.Run
+#                  and experiments.RunAll spawn goroutines. The non-race test
 #                  pass matters too: the allocation-regression tests
 #                  (testing.AllocsPerRun) skip themselves under -race.
-#   make test    — fast unit tests only.
+#   make lint    — idclint, the repo's own static-analysis suite
+#                  (kernel aliasing, hot-path allocations, version-bump
+#                  protocol, float ==, nocopy structs); see DESIGN.md §3.6.
+#   make test    — fast unit tests only, in shuffled order.
 #   make bench   — the paper-artifact benchmarks with series checksums,
 #                  recorded to $(BENCH_JSON) for regression comparison.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: check vet build test race bench
+.PHONY: check vet lint build test race bench
 
-check: vet build test race
+check: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/idclint ./...
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,86 @@
+// Command idclint runs the repo's static-analysis suite (internal/lint):
+// repo-specific analyzers that machine-check the kernel aliasing
+// contracts, the hot-path zero-allocation contract, the Model
+// version-bump protocol, exact float comparisons, and by-value copies of
+// scratch-carrying structs.
+//
+// Usage:
+//
+//	idclint [-only analyzer[,analyzer]] [packages]
+//
+// Packages default to ./... and accept the usual go-list patterns.
+// Findings print as file:line: [analyzer] message; the exit status is 1
+// when there are findings, 2 on operational failure, and 0 on a clean
+// tree. See DESIGN.md §3.6 for each analyzer and the //lint: annotation
+// grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("idclint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	only := flags.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flags.Bool("list", false, "list analyzers and exit")
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: idclint [-only analyzers] [-list] [packages]\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range lint.Analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "idclint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "idclint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, lint.Format(prog.Fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "idclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -148,6 +148,7 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Prices == nil {
 		return nil, fmt.Errorf("nil price model: %w", ErrBadConfig)
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero Ts means "use the default"
 	if cfg.Ts == 0 {
 		cfg.Ts = 30
 	}
@@ -181,6 +182,7 @@ func New(cfg Config) (*Controller, error) {
 			}
 		}
 	}
+	//lint:ignore floateq documented sentinel: both weights exactly zero means "unset"
 	if cfg.MPC.PowerWeight == 0 && cfg.MPC.CostWeight == 0 {
 		cfg.MPC.PowerWeight = 1
 	}

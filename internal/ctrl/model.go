@@ -36,6 +36,12 @@ var modelVersions atomic.Uint64
 // Prices enter the A matrix, so the model is rebuilt whenever the
 // real-time price changes (once per slow-loop tick); each rebuild gets a
 // fresh Version, which is what invalidates MPC condensed-matrix caches.
+//
+// Any mutation of an already-published Model must go through a method
+// that calls bumpVersion, or version-keyed caches serve stale matrices;
+// idclint's versionbump analyzer enforces this.
+//
+//lint:versioned bumpVersion
 type Model struct {
 	top     *idc.Topology
 	prices  []float64
@@ -93,18 +99,26 @@ func NewModel(top *idc.Topology, prices []float64, ts float64) (*Model, error) {
 	}
 	pr := make([]float64, len(prices))
 	copy(pr, prices)
-	return &Model{
-		top:     top,
-		prices:  pr,
-		ts:      ts,
-		version: modelVersions.Add(1),
-		A:       a,
-		B:       b,
-		F:       f,
-		Phi:     phi,
-		G:       gAll.Slice(0, ns, 0, top.NU()),
-		Gamma:   gAll.Slice(0, ns, top.NU(), top.NU()+n),
-	}, nil
+	m := &Model{
+		top:    top,
+		prices: pr,
+		ts:     ts,
+		A:      a,
+		B:      b,
+		F:      f,
+		Phi:    phi,
+		G:      gAll.Slice(0, ns, 0, top.NU()),
+		Gamma:  gAll.Slice(0, ns, top.NU(), top.NU()+n),
+	}
+	m.bumpVersion()
+	return m, nil
+}
+
+// bumpVersion stamps m with a fresh process-unique version. Every method
+// that mutates a Model must call it so that (pointer, version)-keyed
+// caches — the MPC condensed matrices — are invalidated exactly.
+func (m *Model) bumpVersion() {
+	m.version = modelVersions.Add(1)
 }
 
 // Topology returns the model's topology.
@@ -264,19 +278,20 @@ func NewFoldedModel(top *idc.Topology, prices []float64, ts float64) (*Model, er
 	}
 	pr := make([]float64, len(prices))
 	copy(pr, prices)
-	return &Model{
-		top:     top,
-		prices:  pr,
-		ts:      ts,
-		folded:  true,
-		version: modelVersions.Add(1),
-		A:       a,
-		B:       b,
-		F:       f,
-		Phi:     phi,
-		G:       gAll.Slice(0, ns, 0, top.NU()),
-		Gamma:   gAll.Slice(0, ns, top.NU(), top.NU()+n),
-	}, nil
+	m := &Model{
+		top:    top,
+		prices: pr,
+		ts:     ts,
+		folded: true,
+		A:      a,
+		B:      b,
+		F:      f,
+		Phi:    phi,
+		G:      gAll.Slice(0, ns, 0, top.NU()),
+		Gamma:  gAll.Slice(0, ns, top.NU(), top.NU()+n),
+	}
+	m.bumpVersion()
+	return m, nil
 }
 
 // Folded reports whether the sleep-control law is folded into the plant.
@@ -327,6 +342,7 @@ func (m *Model) CapServersInto(buf []int, servers []int) []int {
 	}
 	n := m.top.N()
 	if cap(buf) < n {
+		//lint:ignore hotalloc grow-only scratch: allocates only until the steady size is reached
 		buf = make([]int, n)
 	} else {
 		buf = buf[:n]

@@ -53,13 +53,18 @@ func (c *MPCConfig) defaults() error {
 	if c.CostWeight < 0 || c.PowerWeight < 0 || c.SmoothWeight < 0 {
 		return fmt.Errorf("negative weight: %w", ErrBadConfig)
 	}
+	//lint:ignore floateq unset-weight sentinel: only an exact zero means "disabled"
 	if c.CostWeight == 0 && c.PowerWeight == 0 {
 		return fmt.Errorf("all tracking weights zero: %w", ErrBadConfig)
 	}
 	return nil
 }
 
-// MPC is the receding-horizon controller. It is not safe for concurrent use.
+// MPC is the receding-horizon controller. It is not safe for concurrent
+// use, and it moves by pointer: a by-value copy would share the grow-only
+// step scratch with the original.
+//
+//lint:nocopy
 type MPC struct {
 	cfg MPCConfig
 	// prevZ caches the previous solve's move plan for warm-starting: the
@@ -87,6 +92,8 @@ type MPC struct {
 // StepOutput points into lives here, which is what makes the steady-state
 // step allocation-free — and why outputs are only valid until the next Step
 // (see StepOutput).
+//
+//lint:nocopy
 type stepScratch struct {
 	dist, gamV       []float64
 	d, refEnergy     []float64
@@ -185,6 +192,7 @@ func (m *MPC) condensedFor(model *Model) (*condensed, error) {
 	if m.cache.valid(model) && !m.nocache {
 		return m.cache, nil
 	}
+	//lint:ignore hotalloc cold cache rebuild: runs only when the model identity changed
 	cd, err := newCondensed(model, m.cfg)
 	if err != nil {
 		return nil, err
@@ -196,6 +204,13 @@ func (m *MPC) condensedFor(model *Model) (*condensed, error) {
 }
 
 // Step solves the condensed MPC problem and returns the first move.
+//
+// Step is the fast-loop entry point: with the condensed cache warm and the
+// scratch grown to steady size it performs zero heap allocations
+// (TestMPCStepSteadyStateAllocFree), which idclint's hotalloc analyzer
+// checks statically from this root.
+//
+//lint:hotpath
 func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	if err := m.validate(in); err != nil {
 		return nil, err
@@ -224,6 +239,7 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	ts := model.Ts()
 	prices := model.prices // read-only; Prices() would copy per step
 	refCostRate := in.RefCostRate
+	//lint:ignore floateq documented sentinel: exactly-zero RefCostRate means "derive from prices"
 	if refCostRate == 0 && m.cfg.CostWeight > 0 {
 		for j := range prices {
 			refCostRate += prices[j] * in.RefPower[j]
@@ -262,6 +278,7 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 			return nil, err
 		}
 		stepRef := refAt(s)
+		//lint:ignore floateq documented sentinel: exactly-zero RefCostRate means "derive from prices"
 		if m.cfg.CostWeight > 0 && in.RefCostRate == 0 && len(in.RefPowerTraj) > 0 {
 			refCostRate = 0
 			for j := range prices {
@@ -308,6 +325,7 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	}
 	sc.predBuf = mat.GrowVec(sc.predBuf, ns*b1)
 	if len(sc.preds) != b1 {
+		//lint:ignore hotalloc grow-only scratch: allocates once, then reused every step
 		sc.preds = make([][]float64, b1)
 	}
 	preds := sc.preds

@@ -116,6 +116,7 @@ func (f *Figure) ASCII(width, height int) string {
 			}
 		}
 	}
+	//lint:ignore floateq flat-series guard: hi and lo come from the same scan, equal only when truly constant
 	if hi == lo {
 		hi = lo + 1
 	}

@@ -187,9 +187,11 @@ func NewPredictor(cfg PredictorConfig) (*Predictor, error) {
 	if cfg.Order < 0 {
 		return nil, ErrBadOrder
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero Lambda means "use the default"
 	if cfg.Lambda == 0 {
 		cfg.Lambda = 0.98
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero Delta means "use the default"
 	if cfg.Delta == 0 {
 		cfg.Delta = 1e4
 	}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AliasingAnalyzer enforces the *Into kernel aliasing contracts of
+// DESIGN.md §3.5. A kernel declares its contract in a doc-comment
+// directive:
+//
+//	//lint:noalias dst,a,b
+//	func MulInto(dst, a, b *Dense) *Dense { ... }
+//
+// meaning the first listed argument (the destination) must not alias any
+// of the remaining listed arguments at any call site. The check is
+// syntactic: two arguments alias when they canonicalize to the same
+// object path (x and x, s.tmp and s.tmp, buf[i] and buf[i]). Distinct
+// paths that alias at runtime are out of scope — the contract tables keep
+// callers honest about the obvious cases the compiler cannot reject.
+var AliasingAnalyzer = &Analyzer{
+	Name: "aliasing",
+	Doc:  "flags *Into kernel calls whose dst argument syntactically aliases a forbidden operand (//lint:noalias contracts)",
+	Run:  runAliasing,
+}
+
+// aliasContract is the parsed //lint:noalias table entry for one kernel.
+type aliasContract struct {
+	fn    *FuncInfo
+	names []string // first entry is the destination
+}
+
+func runAliasing(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+
+	// Build the contract table from doc-comment annotations.
+	contracts := make(map[string]*aliasContract)
+	for key, fi := range prog.funcs {
+		for _, d := range docDirectives(fi.Decl.Doc) {
+			if d.Verb != "noalias" {
+				continue
+			}
+			if len(d.Args) < 2 {
+				diags = append(diags, Diagnostic{
+					Pos:     fi.Decl.Pos(),
+					Message: fmt.Sprintf("%s: //lint:noalias needs at least two parameter names", fi.Decl.Name.Name),
+				})
+				continue
+			}
+			sigNames := signatureNames(fi.Decl)
+			ok := true
+			for _, n := range d.Args {
+				if !sigNames[n] {
+					diags = append(diags, Diagnostic{
+						Pos:     fi.Decl.Pos(),
+						Message: fmt.Sprintf("%s: //lint:noalias names unknown parameter %q", fi.Decl.Name.Name, n),
+					})
+					ok = false
+				}
+			}
+			if ok {
+				contracts[key] = &aliasContract{fn: fi, names: d.Args}
+			}
+		}
+	}
+
+	// Check every call site in every target package against the table.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				c := contracts[FuncKey(fn)]
+				if c == nil {
+					return true
+				}
+				checkAliasCall(prog, pkg, call, c, &diags)
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// signatureNames collects the receiver and parameter names of a declaration.
+func signatureNames(decl *ast.FuncDecl) map[string]bool {
+	names := make(map[string]bool)
+	if decl.Recv != nil {
+		for _, field := range decl.Recv.List {
+			for _, id := range field.Names {
+				names[id.Name] = true
+			}
+		}
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, id := range field.Names {
+			names[id.Name] = true
+		}
+	}
+	return names
+}
+
+// checkAliasCall maps contract parameter names to the concrete argument
+// expressions of one call and reports any dst/operand pair that aliases.
+func checkAliasCall(prog *Program, pkg *Package, call *ast.CallExpr, c *aliasContract, diags *[]Diagnostic) {
+	args := make(map[string]ast.Expr)
+
+	// Method receiver: for a selector call recv.Kernel(...), the receiver
+	// expression stands in for the declared receiver name.
+	if c.fn.Decl.Recv != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			for _, field := range c.fn.Decl.Recv.List {
+				for _, id := range field.Names {
+					args[id.Name] = sel.X
+				}
+			}
+		}
+	}
+	i := 0
+	for _, field := range c.fn.Decl.Type.Params.List {
+		for _, id := range field.Names {
+			if i < len(call.Args) {
+				args[id.Name] = call.Args[i]
+			}
+			i++
+		}
+	}
+
+	dstName := c.names[0]
+	dst, ok := args[dstName]
+	if !ok {
+		return
+	}
+	dstPath := canonExpr(pkg.Info, dst)
+	if dstPath == "" {
+		return
+	}
+	for _, name := range c.names[1:] {
+		arg, ok := args[name]
+		if !ok {
+			continue
+		}
+		argPath := canonExpr(pkg.Info, arg)
+		if argPath == "" {
+			continue
+		}
+		if pathsAlias(dstPath, argPath) {
+			*diags = append(*diags, Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf("%s: argument %q aliases %q (both are %s); the kernel's //lint:noalias contract forbids this",
+					c.fn.Decl.Name.Name, dstName, name, types.ExprString(arg)),
+			})
+		}
+	}
+}
+
+// canonExpr reduces an expression to a canonical object path: identifiers
+// become their resolved types.Object (so shadowing is handled), selectors
+// and indexing compose structurally. An empty string means the expression
+// makes no syntactic aliasing claim (calls, arithmetic, unresolved); the
+// literal "nil" never aliases anything.
+func canonExpr(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		if obj == types.Universe.Lookup("nil") {
+			return "nil"
+		}
+		return fmt.Sprintf("o%p", obj)
+	case *ast.SelectorExpr:
+		// Qualified identifier (pkg.Var) has no Selection entry.
+		if sel, ok := info.Selections[e]; ok {
+			base := canonExpr(info, e.X)
+			if base == "" {
+				return ""
+			}
+			return base + "." + fmt.Sprintf("f%p", sel.Obj())
+		}
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return fmt.Sprintf("o%p", obj)
+		}
+		return ""
+	case *ast.IndexExpr:
+		base := canonExpr(info, e.X)
+		idx := indexKey(info, e.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.StarExpr:
+		base := canonExpr(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return "*" + base
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			base := canonExpr(info, e.X)
+			if base == "" {
+				return ""
+			}
+			return "&" + base
+		}
+	}
+	return ""
+}
+
+// indexKey canonicalizes an index expression: constant indices by value,
+// variables by object. Anything else makes no claim.
+func indexKey(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return "c" + tv.Value.ExactString()
+	}
+	return canonExpr(info, e)
+}
+
+// pathsAlias reports whether two canonical paths refer to overlapping
+// storage: equal paths, or one a strict structural prefix of the other
+// (x aliases x.field and x[i]).
+func pathsAlias(a, b string) bool {
+	if a == "nil" || b == "nil" {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	long, short := a, b
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	if len(long) > len(short) && long[:len(short)] == short {
+		switch long[len(short)] {
+		case '.', '[':
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloateqAnalyzer flags == and != between floating-point operands.
+// Rounding makes exact comparison the classic source of
+// almost-always-works numerical bugs; the solvers compare against
+// tolerances instead.
+//
+// Some files legitimately compare floats bit-exactly — sentinel zeros in
+// kernels, golden-value tests, the skip-zero fast path in MulInto — and
+// opt out wholesale with //lint:allow floateq, or per-line with
+// //lint:ignore floateq <reason>. Comparisons where both operands are
+// compile-time constants are exempt: those are exact by construction.
+var FloateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floating-point operands outside //lint:allow floateq files",
+	Run:  runFloateq,
+}
+
+func runFloateq(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xtv, ytv := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+				if !isFloat(xtv.Type) && !isFloat(ytv.Type) {
+					return true
+				}
+				if xtv.Value != nil && ytv.Value != nil {
+					return true // constant folding is exact
+				}
+				diags = append(diags, Diagnostic{
+					Pos: be.OpPos,
+					Message: fmt.Sprintf("exact floating-point comparison (%s); compare against a tolerance, or suppress with //lint:ignore floateq <reason> if bit-exact semantics are intended",
+						be.Op),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotallocAnalyzer enforces the zero-allocation steady-state contract on
+// the control fast loop. Functions annotated //lint:hotpath are roots; the
+// analyzer walks the static call graph inside the module from each root
+// and flags every reachable allocation site: make/new, growing append,
+// slice/map/&struct composite literals, escaping closures, and interface
+// boxing at call sites.
+//
+// Two deliberate holes keep the check aligned with what the AllocsPerRun
+// tests actually pin:
+//
+//   - Error paths are cold. An if-block whose last statement returns a
+//     non-nil error (or panics) is skipped entirely — allocations on the
+//     way out of a failing solve do not break the steady state.
+//   - An //lint:ignore hotalloc comment on a call site both suppresses the
+//     finding and prunes the call edge, so cold fallbacks (cache rebuilds,
+//     cold-start solves) are not traversed.
+//
+// Dynamic dispatch (interface method calls, function values) and stdlib
+// internals are not followed; the AllocsPerRun tests remain the runtime
+// backstop for those.
+var HotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation sites reachable from //lint:hotpath roots",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+
+	// Roots: every function whose doc comment carries //lint:hotpath.
+	var queue []string
+	rootOf := make(map[string]string) // visited func key -> root key that reached it
+	for key, fi := range prog.funcs {
+		for _, d := range docDirectives(fi.Decl.Doc) {
+			if d.Verb == "hotpath" {
+				queue = append(queue, key)
+				rootOf[key] = key
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		fi := prog.funcs[key]
+		if fi == nil || fi.Decl.Body == nil {
+			continue
+		}
+		w := &hotWalker{prog: prog, pkg: fi.Pkg, root: rootOf[key], fn: fi}
+		w.walk(fi.Decl.Body)
+		diags = append(diags, w.diags...)
+		for _, callee := range w.edges {
+			if _, seen := rootOf[callee]; !seen {
+				rootOf[callee] = rootOf[key]
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return diags
+}
+
+// hotWalker scans one function body for allocation sites and call edges,
+// skipping cold (error-return/panic) if-blocks.
+type hotWalker struct {
+	prog  *Program
+	pkg   *Package
+	root  string
+	fn    *FuncInfo
+	diags []Diagnostic
+	edges []string
+	// allowedLits holds closures that are stack-allocatable in practice:
+	// function literals bound to a local via := or =, or invoked
+	// immediately. Their bodies are still scanned.
+	allowedLits map[*ast.FuncLit]bool
+}
+
+func (w *hotWalker) report(pos token.Pos, format string, args ...any) {
+	w.diags = append(w.diags, Diagnostic{
+		Pos: pos,
+		Message: fmt.Sprintf("hot path %s (root %s): %s",
+			w.fn.Key, w.root, fmt.Sprintf(format, args...)),
+	})
+}
+
+func (w *hotWalker) walk(root ast.Node) {
+	info := w.pkg.Info
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if coldBlock(info, n.Body) {
+				if n.Init != nil {
+					ast.Inspect(n.Init, visit)
+				}
+				ast.Inspect(n.Cond, visit)
+				if n.Else != nil {
+					ast.Inspect(n.Else, visit)
+				}
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+					w.allowLit(lit)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					w.report(n.Pos(), "&%s literal allocates", compositeTypeName(info, lit))
+					ast.Inspect(n.X, visit) // inner slice/map literals allocate too
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				w.report(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				w.report(n.Pos(), "map literal allocates")
+			}
+		case *ast.FuncLit:
+			if !w.allowedLits[n] {
+				w.report(n.Pos(), "closure may escape and allocate; bind it to a local with := if it must live here")
+			}
+		case *ast.CallExpr:
+			w.call(n, visit)
+		}
+		return true
+	}
+	ast.Inspect(root, visit)
+}
+
+func (w *hotWalker) allowLit(lit *ast.FuncLit) {
+	if w.allowedLits == nil {
+		w.allowedLits = make(map[*ast.FuncLit]bool)
+	}
+	w.allowedLits[lit] = true
+}
+
+// call handles one call expression: builtin allocators, interface boxing
+// of arguments, and module-internal call-graph edges.
+func (w *hotWalker) call(call *ast.CallExpr, visit func(ast.Node) bool) {
+	info := w.pkg.Info
+
+	// Immediately-invoked function literals run inline.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.allowLit(lit)
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				w.report(call.Pos(), "make allocates")
+			case "new":
+				w.report(call.Pos(), "new allocates")
+			case "append":
+				// append onto a reslice of an existing backing array —
+				// append(buf[:0], ...) — is the sanctioned grow-only
+				// scratch idiom and reuses storage once warm.
+				if len(call.Args) > 0 {
+					if _, resliced := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !resliced {
+						w.report(call.Pos(), "append may grow its backing array")
+					}
+				}
+			}
+			return
+		}
+	}
+
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion, not a call
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	w.checkBoxing(call, sig)
+
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || !w.prog.inModule(fn.Pkg().Path()) {
+		return
+	}
+	// An //lint:ignore hotalloc on the call line prunes the edge: the
+	// callee is declared cold and is not traversed.
+	if w.prog.suppressed("hotalloc", call.Pos()) {
+		return
+	}
+	if key := FuncKey(fn); key != "" {
+		w.edges = append(w.edges, key)
+	}
+}
+
+// checkBoxing flags arguments whose conversion to an interface parameter
+// heap-allocates: concrete, non-pointer-shaped, non-constant values.
+func (w *hotWalker) checkBoxing(call *ast.CallExpr, sig *types.Signature) {
+	info := w.pkg.Info
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value != nil || tv.IsNil() {
+			continue // constants are interned or compile-time
+		}
+		at := tv.Type
+		if at == nil || pointerShaped(at) {
+			continue
+		}
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		w.report(arg.Pos(), "passing %s to interface parameter boxes and allocates", at)
+	}
+}
+
+// pointerShaped reports whether values of t fit the interface data word
+// without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// coldBlock reports whether an if-body is an error path: its last
+// statement returns a non-nil error-typed result or panics. Such blocks
+// are excluded from hot-path analysis — allocation on the way out of a
+// failing solve does not violate the steady-state contract.
+func coldBlock(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		for _, r := range last.Results {
+			tv, ok := info.Types[r]
+			if !ok || tv.Type == nil || tv.IsNil() {
+				continue
+			}
+			if isErrorType(tv.Type) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// compositeTypeName renders the type of a composite literal for messages.
+func compositeTypeName(info *types.Info, lit *ast.CompositeLit) string {
+	if t := info.Types[lit].Type; t != nil {
+		return t.String()
+	}
+	return "composite"
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package: the unit analyzers iterate.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded set of target packages sharing one token.FileSet,
+// plus the cross-package indices (function declarations, //lint:
+// directives) the analyzers consume.
+type Program struct {
+	Fset       *token.FileSet
+	Pkgs       []*Package
+	ModulePath string
+
+	// funcs maps FuncKey strings ("pkg/path.Name" or "pkg/path.Type.Name")
+	// to the source declaration, for every function in a target package.
+	funcs map[string]*FuncInfo
+	// directives indexes //lint: comments per file name.
+	directives map[string]*fileDirectives
+	// badDirectives collects malformed //lint: comments found during Load;
+	// the driver reports them as findings of the pseudo-analyzer
+	// "directive".
+	badDirectives []Diagnostic
+}
+
+// FuncInfo ties a function declaration to the package it was checked in.
+type FuncInfo struct {
+	Key  string
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with `go list` (run in dir), parses the matched
+// packages from source, and type-checks them against compiler export data
+// for every dependency (`go list -deps -export`). The result carries full
+// syntax with comments — which is where the //lint: contract annotations
+// live — plus exact type information, with no dependency outside the
+// standard library.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			cp := lp
+			targets = append(targets, &cp)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %v", patterns)
+	}
+
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		funcs:      make(map[string]*FuncInfo),
+		directives: make(map[string]*fileDirectives),
+	}
+	for _, t := range targets {
+		if t.Module != nil && prog.ModulePath == "" {
+			prog.ModulePath = t.Module.Path
+		}
+	}
+
+	// One importer for the whole load so shared dependencies resolve to one
+	// *types.Package. Cross-package analyzer logic still compares by path
+	// strings, never object identity, because a target package's own
+	// source-checked types differ from its export-data incarnation.
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(prog.Fset, "gc", lookup)
+
+	for _, t := range targets {
+		pkg, err := prog.check(t, imp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+
+	prog.indexFuncs()
+	return prog, nil
+}
+
+// check parses and type-checks one target package from source.
+func (prog *Program) check(t *listedPackage, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		prog.scanDirectives(path, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", t.ImportPath, err)
+	}
+	return &Package{Path: t.ImportPath, Dir: t.Dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// indexFuncs records every function declaration under its FuncKey.
+func (prog *Program) indexFuncs() {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FuncKey(fn)
+				if key != "" {
+					prog.funcs[key] = &FuncInfo{Key: key, Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+}
+
+// FuncKey canonicalizes a function or method to a string that is stable
+// across the source-checked and export-data views of its package:
+// "pkg/path.Name" for package functions, "pkg/path.Type.Name" for methods
+// (pointer receivers are stripped).
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "" // interface or weird receiver: not indexable
+		}
+		return pkgPath + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	return pkgPath + "." + fn.Name()
+}
+
+// typeKey canonicalizes a named type to "pkg/path.Name".
+func typeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// inModule reports whether path belongs to the analyzed module.
+func (prog *Program) inModule(path string) bool {
+	return path == prog.ModulePath || strings.HasPrefix(path, prog.ModulePath+"/")
+}
+
+// calleeOf resolves a call expression to the static *types.Func it invokes,
+// or nil for builtins, conversions, closures and interface values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

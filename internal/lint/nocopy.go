@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NocopyAnalyzer flags by-value copies of structs annotated //lint:nocopy.
+// The solvers' workspace types (qp.Workspace, lp.Solver, mat.Dense, the
+// MPC step scratch) own grow-only scratch slices: a shallow copy shares
+// backing arrays with the original, so one copy's reslice-and-overwrite
+// silently corrupts the other's data. Such types must move by pointer.
+//
+// Flagged copy forms: by-value receivers, parameters and results in
+// function signatures; assignment from an existing value (x := w, x = *p,
+// x := s.field); and range-clause value variables. Composite literals are
+// construction, not copying, and stay legal.
+var NocopyAnalyzer = &Analyzer{
+	Name: "nocopy",
+	Doc:  "flags by-value copies of //lint:nocopy scratch-carrying structs",
+	Run:  runNocopy,
+}
+
+func runNocopy(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+
+	// Collect the annotated types.
+	nocopy := make(map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					for _, d := range docDirectives(doc) {
+						if d.Verb == "nocopy" {
+							nocopy[pkg.Path+"."+ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(nocopy) == 0 {
+		return diags
+	}
+
+	// isNocopyValue: t is a nocopy struct held by value (pointers are the
+	// sanctioned way to pass these around).
+	isNocopyValue := func(t types.Type) (string, bool) {
+		t = types.Unalias(t)
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		key := typeKey(named)
+		return named.Obj().Name(), nocopy[key]
+	}
+
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		flagField := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				t := info.TypeOf(field.Type)
+				if name, bad := isNocopyValue(t); bad {
+					diags = append(diags, Diagnostic{
+						Pos:     field.Type.Pos(),
+						Message: fmt.Sprintf("%s passes %s by value; %s carries scratch storage and must move by pointer (//lint:nocopy)", what, name, name),
+					})
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					flagField(n.Recv, "receiver")
+					flagField(n.Type.Params, "parameter")
+					flagField(n.Type.Results, "result")
+				case *ast.FuncLit:
+					flagField(n.Type.Params, "parameter")
+					flagField(n.Type.Results, "result")
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						// Assigning to blank discards the value: no copy
+						// outlives the statement.
+						if i < len(n.Lhs) && len(n.Lhs) == len(n.Rhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+								continue
+							}
+						}
+						e := ast.Unparen(rhs)
+						switch e.(type) {
+						case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+							if name, bad := isNocopyValue(info.TypeOf(e)); bad {
+								diags = append(diags, Diagnostic{
+									Pos:     rhs.Pos(),
+									Message: fmt.Sprintf("assignment copies %s by value; its scratch slices would share backing arrays (//lint:nocopy)", name),
+								})
+							}
+						}
+					}
+				case *ast.RangeStmt:
+					if n.Value != nil {
+						if name, bad := isNocopyValue(info.TypeOf(n.Value)); bad {
+							diags = append(diags, Diagnostic{
+								Pos:     n.Value.Pos(),
+								Message: fmt.Sprintf("range clause copies %s elements by value; iterate by index instead (//lint:nocopy)", name),
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,53 @@
+// Package aliasing exercises the //lint:noalias contract checks.
+package aliasing
+
+// Dense stands in for a matrix type with kernel methods.
+type Dense struct{ data []float64 }
+
+// MulInto declares the three-operand product contract.
+//
+//lint:noalias dst,a,b
+func MulInto(dst, a, b *Dense) *Dense { return dst }
+
+// ApplyInto declares a receiver-method contract over slices.
+//
+//lint:noalias dst,x
+func (d *Dense) ApplyInto(dst, x []float64) {}
+
+// BadName names a parameter that does not exist.
+//
+//lint:noalias dst,zz
+func BadName(dst, a *Dense) {} // want:aliasing "unknown parameter"
+
+// TooFew lists only the destination.
+//
+//lint:noalias dst
+func TooFew(dst, a *Dense) {} // want:aliasing "at least two parameter names"
+
+type scratch struct {
+	out, in Dense
+	bufs    []*Dense
+}
+
+func callers(s *scratch, m, n *Dense, v, w []float64) {
+	MulInto(m, n, n)         // ok: dst distinct
+	MulInto(m, m, n)         // want:aliasing "aliases"
+	MulInto(&s.out, &s.in, n)      // ok: distinct fields
+	MulInto(&s.out, &s.out, n)     // want:aliasing "aliases"
+	MulInto(s.bufs[0], s.bufs[1], n)  // ok: distinct constant indices
+	MulInto(s.bufs[0], s.bufs[0], n)  // want:aliasing "aliases"
+	MulInto(m, nil, n) // ok: nil never aliases
+	m.ApplyInto(v, w) // ok
+	m.ApplyInto(v, v) // want:aliasing "aliases"
+}
+
+func shadowing(m *Dense, v []float64) {
+	{
+		v := make([]float64, 2)
+		u := v
+		_ = u
+		m.ApplyInto(v, v) // want:aliasing "aliases"
+	}
+	u := make([]float64, 2)
+	m.ApplyInto(u, v) // ok: distinct objects
+}

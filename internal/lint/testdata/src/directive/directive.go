@@ -1,0 +1,20 @@
+// Package directive holds malformed //lint: comments; the loader must
+// report each one instead of silently dropping the contract.
+package directive
+
+//lint:frobnicate
+func unknownVerb() {}
+
+//lint:versioned
+type missingArg struct{}
+
+//lint:hotpath extra args here
+func hotpathWithArgs() {}
+
+//lint:allow
+func allowWithoutNames() {}
+
+func ignoreMissingReason() {
+	//lint:ignore hotalloc
+	_ = make([]float64, 1)
+}

@@ -1,0 +1,9 @@
+package floateq
+
+// This file opts out wholesale: bit-exact comparison is its business.
+//
+//lint:allow floateq
+
+func bitExact(a, b float64) bool {
+	return a == b // ok: file-wide allow
+}

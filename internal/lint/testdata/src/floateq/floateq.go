@@ -1,0 +1,22 @@
+// Package floateq exercises the exact-comparison check.
+package floateq
+
+const half = 0.5
+
+func cmp(a, b float64, c float32, n int) bool {
+	if a == b { // want:floateq "exact floating-point comparison"
+		return true
+	}
+	if c != 0 { // want:floateq "exact floating-point comparison"
+		return false
+	}
+	if n == 0 { // ok: integers compare exactly
+		return true
+	}
+	return half == 0.5 // ok: both operands are compile-time constants
+}
+
+func suppressed(a float64) bool {
+	//lint:ignore floateq fixture sentinel: zero means unset here
+	return a == 0 // ok: line ignore above
+}

@@ -1,0 +1,73 @@
+// Package hotalloc exercises the zero-alloc hot-path walk.
+package hotalloc
+
+import "errors"
+
+var errFixture = errors.New("fixture")
+
+type point struct{ x, y float64 }
+
+// Step is a hot root with direct allocation sites.
+//
+//lint:hotpath
+func Step(buf []float64, n int) []float64 {
+	s := make([]float64, n) // want:hotalloc "make allocates"
+	p := new(point)         // want:hotalloc "new allocates"
+	_ = p
+	buf = append(buf, 1)     // want:hotalloc "append may grow"
+	buf = append(buf[:0], s...) // ok: reslice idiom reuses the backing array
+	helper()
+	return buf
+}
+
+// helper is reached through the call graph, not annotated itself.
+func helper() {
+	q := &point{x: 1} // want:hotalloc "literal allocates"
+	_ = q
+	_ = []float64{1, 2} // want:hotalloc "slice literal allocates"
+}
+
+// Guarded shows the cold error-path hole.
+//
+//lint:hotpath
+func Guarded(n int) ([]float64, error) {
+	if n < 0 {
+		big := make([]float64, 1024) // ok: cold block ends in an error return
+		_ = big
+		return nil, errFixture
+	}
+	if n == 0 {
+		panic("zero") // cold too: panic terminator
+	}
+	out := make([]float64, n) // want:hotalloc "make allocates"
+	return out, nil
+}
+
+// Pruned shows that an ignored call edge is not traversed.
+//
+//lint:hotpath
+func Pruned() {
+	//lint:ignore hotalloc cold rebuild: runs only on cache miss in this fixture
+	coldRebuild()
+}
+
+func coldRebuild() []float64 {
+	return make([]float64, 64) // ok: only reachable through the pruned edge
+}
+
+// Boxes shows interface boxing and the closure rules.
+//
+//lint:hotpath
+func Boxes(v float64, p *point) {
+	sink(v)  // want:hotalloc "boxes and allocates"
+	sink(p)  // ok: pointers fit the interface word
+	sink(nil) // ok
+	f := func() {} // ok: bound to a local
+	f()
+	run(func() {}) // want:hotalloc "closure may escape"
+	func() { _ = v }() // ok: immediately invoked
+}
+
+func sink(x any) {}
+
+func run(f func()) { f() }

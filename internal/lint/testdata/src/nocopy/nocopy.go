@@ -1,0 +1,40 @@
+// Package nocopy exercises the by-value-copy check on scratch structs.
+package nocopy
+
+// Workspace owns grow-only scratch storage.
+//
+//lint:nocopy
+type Workspace struct{ buf []float64 }
+
+// Plain is copyable; only annotated types are flagged.
+type Plain struct{ v float64 }
+
+func byValueParam(w Workspace) {} // want:nocopy "parameter passes Workspace by value"
+
+func byPointer(w *Workspace) {} // ok
+
+func (w Workspace) valMethod() {} // want:nocopy "receiver passes Workspace by value"
+
+func (w *Workspace) ptrMethod() {} // ok
+
+func byValueResult() Workspace { // want:nocopy "result passes Workspace by value"
+	return Workspace{} // ok: composite literal is construction
+}
+
+func copies(p *Workspace, list []Workspace, plain Plain) {
+	a := *p // want:nocopy "assignment copies Workspace"
+	b := a  // want:nocopy "assignment copies Workspace"
+	_ = b
+	c := list[0] // want:nocopy "assignment copies Workspace"
+	_ = c
+	d := plain // ok: Plain is not annotated
+	_ = d
+	for _, w := range list { // want:nocopy "range clause copies Workspace"
+		_ = w
+	}
+	for i := range list { // ok: iterate by index
+		_ = list[i]
+	}
+	fn := func(w Workspace) {} // want:nocopy "parameter passes Workspace by value"
+	_ = fn
+}

@@ -1,0 +1,44 @@
+// Package versionbump exercises the cache-invalidation protocol check.
+package versionbump
+
+// Model caches derived state keyed on version.
+//
+//lint:versioned bump
+type Model struct {
+	version int
+	k       float64
+	n       int
+}
+
+func (m *Model) bump() { m.version++ }
+
+// New builds by composite literal (construction is exempt) and bumps once.
+func New(k float64) *Model {
+	m := &Model{k: k}
+	m.bump()
+	return m
+}
+
+// SetK is sanctioned: a method whose body calls the bump helper.
+func (m *Model) SetK(k float64) {
+	m.k = k // ok
+	m.bump()
+}
+
+// SetKStale is a method of Model that forgets to bump.
+func (m *Model) SetKStale(k float64) {
+	m.k = k // want:versionbump "outside a method that calls bump"
+}
+
+// Outside is not a method of Model at all.
+func Outside(m *Model) {
+	m.k = 2 // want:versionbump "outside a method that calls bump"
+	m.n++   // want:versionbump "outside a method that calls bump"
+}
+
+// Bad names a helper that does not exist.
+//
+//lint:versioned missingBump
+type Bad struct { // want:versionbump "does not exist"
+	version int
+}

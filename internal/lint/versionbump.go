@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// VersionbumpAnalyzer enforces the cache-invalidation protocol on
+// version-stamped model types. A type opts in via its doc comment:
+//
+//	//lint:versioned bumpVersion
+//	type Model struct { ... }
+//
+// after which any write to a field of that type is legal only inside a
+// method of the type that also calls the named bump helper (or inside the
+// helper itself). Composite literals are construction, not mutation, and
+// are exempt — constructors are expected to build the value and then call
+// the helper once.
+//
+// This is what keeps the condensed-matrix cache sound: condensedFor keys
+// on Model.Version(), so a field write that skips the bump silently serves
+// stale horizon matrices.
+var VersionbumpAnalyzer = &Analyzer{
+	Name: "versionbump",
+	Doc:  "flags writes to //lint:versioned type fields outside methods that call the version-bump helper",
+	Run:  runVersionbump,
+}
+
+func runVersionbump(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+
+	// Versioned-type table: type key -> bump method name.
+	bumps := make(map[string]string)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					for _, d := range docDirectives(doc) {
+						if d.Verb != "versioned" {
+							continue
+						}
+						key := pkg.Path + "." + ts.Name.Name
+						bump := d.Args[0]
+						if prog.funcs[key+"."+bump] == nil {
+							diags = append(diags, Diagnostic{
+								Pos:     ts.Pos(),
+								Message: fmt.Sprintf("%s: //lint:versioned names method %q, which does not exist", ts.Name.Name, bump),
+							})
+							continue
+						}
+						bumps[key] = bump
+					}
+				}
+			}
+		}
+	}
+	if len(bumps) == 0 {
+		return diags
+	}
+
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkVersionedWrites(prog, pkg, fd, bumps, &diags)
+			}
+		}
+	}
+	return diags
+}
+
+// checkVersionedWrites flags field writes to versioned types inside one
+// function, unless the function is a bump-calling method of that type.
+func checkVersionedWrites(prog *Program, pkg *Package, fd *ast.FuncDecl, bumps map[string]string, diags *[]Diagnostic) {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	key := FuncKey(fn)
+
+	// sanctioned reports whether this function may mutate the given
+	// versioned type: it is the bump helper itself, or a method of the
+	// type whose body calls the helper.
+	sanctionedFor := make(map[string]bool)
+	sanctioned := func(tkey string) bool {
+		if v, ok := sanctionedFor[tkey]; ok {
+			return v
+		}
+		bump := bumps[tkey]
+		ok := false
+		if key == tkey+"."+bump {
+			ok = true // the helper itself
+		} else if isMethodOf(key, tkey) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if callee := calleeOf(pkg.Info, call); callee != nil && FuncKey(callee) == tkey+"."+bump {
+					ok = true
+					return false
+				}
+				return true
+			})
+		}
+		sanctionedFor[tkey] = ok
+		return ok
+	}
+
+	flag := func(target ast.Expr) {
+		sel, ok := ast.Unparen(target).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return
+		}
+		named := namedOf(selection.Recv())
+		if named == nil {
+			return
+		}
+		tkey := typeKey(named)
+		bump, versioned := bumps[tkey]
+		if !versioned || sanctioned(tkey) {
+			return
+		}
+		*diags = append(*diags, Diagnostic{
+			Pos: target.Pos(),
+			Message: fmt.Sprintf("write to versioned %s field %s outside a method that calls %s; stale-cache hazard",
+				named.Obj().Name(), sel.Sel.Name, bump),
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(n.X)
+		}
+		return true
+	})
+}
+
+// isMethodOf reports whether funcKey names a method of the type typeKey.
+func isMethodOf(funcKey, typeKey string) bool {
+	n := len(typeKey)
+	return len(funcKey) > n+1 && funcKey[:n] == typeKey && funcKey[n] == '.'
+}

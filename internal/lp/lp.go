@@ -21,6 +21,13 @@ import (
 	"repro/internal/mat"
 )
 
+// The simplex tableau stores exact unit and zero entries by construction
+// (identity columns, cleared rows, phase costs), and the pivot rules test
+// them bit-exactly; tolerance comparisons here would corrupt basis
+// bookkeeping. Exact float comparison is therefore sanctioned file-wide.
+//
+//lint:allow floateq
+
 // Status describes the outcome of a solve.
 type Status int
 
@@ -148,7 +155,10 @@ func Solve(p *Problem) (*Result, error) {
 
 // tableau is a dense simplex tableau in standard form:
 // rows = structural constraints, one column per variable (originals,
-// slacks, artificials), plus a rhs column.
+// slacks, artificials), plus a rhs column. It moves by pointer: a by-value
+// copy would share the row storage with the original.
+//
+//lint:nocopy
 type tableau struct {
 	a      [][]float64 // m rows, each of length nTotal+1 (last = rhs)
 	basis  []int       // basis[r] = column basic in row r
@@ -307,10 +317,13 @@ func (t *tableau) phase2(cost []float64) *Result {
 	st := t.iterate(cost, math.Inf(1))
 	switch st {
 	case Unbounded:
+		//lint:ignore hotalloc independently-owned result (bounded by TestSolverWarmResolveAllocationBounded)
 		return &Result{Status: Unbounded, Iterations: t.iters}
 	case IterationLimit:
+		//lint:ignore hotalloc independently-owned result (bounded by TestSolverWarmResolveAllocationBounded)
 		return &Result{Status: IterationLimit, Iterations: t.iters}
 	}
+	//lint:ignore hotalloc independently-owned result (bounded by TestSolverWarmResolveAllocationBounded)
 	x := make([]float64, t.nOrig)
 	rhs := t.rhsCol()
 	for r, b := range t.basis {
@@ -319,6 +332,7 @@ func (t *tableau) phase2(cost []float64) *Result {
 		}
 	}
 	dualsEq, dualsUb := t.duals(cost)
+	//lint:ignore hotalloc independently-owned result (bounded by TestSolverWarmResolveAllocationBounded)
 	return &Result{
 		Status: Optimal, X: x,
 		Obj:        mat.Dot(t.phase2Cost[:t.nOrig], x),
@@ -343,6 +357,7 @@ func (t *tableau) duals(cost []float64) (dualsEq, dualsUb []float64) {
 		}
 		return rc
 	}
+	//lint:ignore hotalloc independently-owned result (bounded by TestSolverWarmResolveAllocationBounded)
 	dualsEq = make([]float64, t.mEq)
 	for r := 0; r < t.mEq; r++ {
 		col := t.artOfRow[r]
@@ -355,6 +370,7 @@ func (t *tableau) duals(cost []float64) (dualsEq, dualsUb []float64) {
 		}
 		dualsEq[r] = y
 	}
+	//lint:ignore hotalloc independently-owned result (bounded by TestSolverWarmResolveAllocationBounded)
 	dualsUb = make([]float64, t.m-t.mEq)
 	for r := t.mEq; r < t.m; r++ {
 		// ≤ rows carry their slack at column nOrig + (r − mEq) unless the

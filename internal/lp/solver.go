@@ -27,7 +27,11 @@ import (
 //     two-phase path automatically. The fallback is always sound because the
 //     cold path never reads retained state.
 //
-// The zero value is ready for use. A Solver is not safe for concurrent use.
+// The zero value is ready for use. A Solver is not safe for concurrent use,
+// and it moves by pointer: a by-value copy would share the retained tableau
+// and snapshot storage with the original.
+//
+//lint:nocopy
 type Solver struct {
 	t *tableau
 
@@ -47,6 +51,13 @@ type Solver struct {
 // Solve solves p, warm-starting from the previous optimal basis when only the
 // cost vector changed. It is a drop-in replacement for the package-level
 // Solve.
+//
+// A warm resolve is bounded at a few small allocations — the
+// independently-owned Result and its slices from phase-2 extraction
+// (pinned by TestSolverWarmResolveAllocationBounded); idclint's hotalloc
+// analyzer checks the rest of the path statically from this root.
+//
+//lint:hotpath
 func (s *Solver) Solve(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -56,6 +67,7 @@ func (s *Solver) Solve(p *Problem) (*Result, error) {
 			return res, nil
 		}
 	}
+	//lint:ignore hotalloc cold fallback: full two-phase rebuild when warm start is ineligible
 	return s.coldSolve(p), nil
 }
 
@@ -158,6 +170,7 @@ func vecEqual(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//lint:ignore floateq warm-start eligibility is a bit-exact snapshot comparison by design
 		if a[i] != b[i] {
 			return false
 		}

@@ -6,7 +6,10 @@ import (
 )
 
 // Cholesky holds the lower-triangular factor L of a symmetric positive
-// definite matrix A = L*Lᵀ.
+// definite matrix A = L*Lᵀ. It owns reusable factor storage and moves by
+// pointer.
+//
+//lint:nocopy
 type Cholesky struct {
 	l *Dense
 	n int

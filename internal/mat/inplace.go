@@ -40,10 +40,12 @@ func ReuseDense(d *Dense, r, c int) *Dense {
 // values unspecified. For kernels that overwrite every entry.
 func reuseUnset(d *Dense, r, c int) *Dense {
 	if d == nil {
+		//lint:ignore hotalloc nil dst means "allocate for me"; hot callers pass reused matrices
 		d = &Dense{}
 	}
 	n := r * c
 	if cap(d.data) < n {
+		//lint:ignore hotalloc grow-only scratch: allocates only until the steady size is reached
 		d.data = make([]float64, n)
 	} else {
 		d.data = d.data[:n]
@@ -56,12 +58,15 @@ func reuseUnset(d *Dense, r, c int) *Dense {
 // capacity. The contents are unspecified — callers must overwrite fully.
 func GrowVec(buf []float64, n int) []float64 {
 	if cap(buf) < n {
+		//lint:ignore hotalloc grow-only scratch: allocates only until the steady size is reached
 		return make([]float64, n)
 	}
 	return buf[:n]
 }
 
 // MulInto computes dst = a*b. dst must not alias a or b; nil allocates.
+//
+//lint:noalias dst,a,b
 func MulInto(dst, a, b *Dense) (*Dense, error) {
 	if a.cols != b.rows {
 		return nil, shapeErr("mul", a, b)
@@ -71,6 +76,7 @@ func MulInto(dst, a, b *Dense) (*Dense, error) {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
 		for k, av := range arow {
+			//lint:ignore floateq skip-zero fast path is exact by design: only true zeros skip
 			if av == 0 {
 				continue
 			}
@@ -85,6 +91,8 @@ func MulInto(dst, a, b *Dense) (*Dense, error) {
 
 // MulVecInto computes dst = a*x. dst must have length a.Rows() and must not
 // alias x.
+//
+//lint:noalias dst,x
 func MulVecInto(dst []float64, a *Dense, x []float64) error {
 	if a.cols != len(x) {
 		return vecShapeErr("mulvec", a, len(x))
@@ -105,6 +113,8 @@ func MulVecInto(dst []float64, a *Dense, x []float64) error {
 
 // MulTVecInto computes dst = aᵀ*x. dst must have length a.Cols() and must
 // not alias x.
+//
+//lint:noalias dst,x
 func MulTVecInto(dst []float64, a *Dense, x []float64) error {
 	if a.rows != len(x) {
 		return vecShapeErr("multvec", a, len(x))
@@ -117,6 +127,7 @@ func MulTVecInto(dst []float64, a *Dense, x []float64) error {
 	}
 	for i := 0; i < a.rows; i++ {
 		xi := x[i]
+		//lint:ignore floateq skip-zero fast path is exact by design: only true zeros skip
 		if xi == 0 {
 			continue
 		}
@@ -164,6 +175,8 @@ func ScaleInto(dst *Dense, s float64, a *Dense) *Dense {
 }
 
 // TransposeInto computes dst = aᵀ. dst must not alias a; nil allocates.
+//
+//lint:noalias dst,a
 func TransposeInto(dst, a *Dense) *Dense {
 	dst = reuseUnset(dst, a.cols, a.rows)
 	for i := 0; i < a.rows; i++ {
@@ -233,6 +246,7 @@ func Equal(a, b *Dense) bool {
 		return false
 	}
 	for i := range a.data {
+		//lint:ignore floateq Equal is documented as bit-exact IEEE comparison
 		if a.data[i] != b.data[i] {
 			return false
 		}

@@ -6,7 +6,10 @@ import (
 )
 
 // LU holds an LU factorization with partial pivoting: P*A = L*U, where L is
-// unit lower triangular and U is upper triangular, stored packed in lu.
+// unit lower triangular and U is upper triangular, stored packed in lu. It
+// owns reusable factor storage and moves by pointer.
+//
+//lint:nocopy
 type LU struct {
 	lu    *Dense
 	piv   []int // piv[i] = row of A in position i after pivoting
@@ -55,6 +58,7 @@ func (f *LU) Factor(a *Dense) error {
 				max, p = v, i
 			}
 		}
+		//lint:ignore floateq singularity gate is intentionally exact: any nonzero pivot factors
 		if max == 0 {
 			f.n = 0
 			return fmt.Errorf("mat: zero pivot at column %d: %w", k, ErrSingular)
@@ -68,6 +72,7 @@ func (f *LU) Factor(a *Dense) error {
 		for i := k + 1; i < n; i++ {
 			m := lu.data[i*n+k] / pivot
 			lu.data[i*n+k] = m
+			//lint:ignore floateq skip-zero fast path is exact by design: only true zeros skip
 			if m == 0 {
 				continue
 			}
@@ -124,6 +129,8 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 // SolveVecInto solves A*x = b, writing x into dst. dst must have length n and
 // must NOT alias b: the permutation gather reads b out of order after dst
 // entries have been written.
+//
+//lint:noalias dst,b
 func (f *LU) SolveVecInto(dst, b []float64) error {
 	if len(b) != f.n {
 		return fmt.Errorf("mat: LU solve rhs length %d, want %d: %w", len(b), f.n, ErrShape)

@@ -26,6 +26,11 @@ var ErrSingular = errors.New("mat: matrix is singular to working precision")
 //
 // The zero value is an empty 0x0 matrix ready for use with Reset-style
 // constructors; most callers should use New, Zeros, Identity or FromRows.
+// Dense values move by pointer: a by-value copy would share the backing
+// slice with the original, so an in-place kernel reshaping one corrupts
+// the other.
+//
+//lint:nocopy
 type Dense struct {
 	rows, cols int
 	data       []float64

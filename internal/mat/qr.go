@@ -28,6 +28,7 @@ func FactorQR(a *Dense) (*QR, error) {
 		for i := k; i < m; i++ {
 			norm = math.Hypot(norm, qr.data[i*n+k])
 		}
+		//lint:ignore floateq exactly-zero column has no reflector; any nonzero norm is usable
 		if norm == 0 {
 			tau[k] = 0
 			continue
@@ -73,6 +74,7 @@ func (f *QR) R() *Dense {
 // applyQT overwrites b (length m) with Qᵀ*b.
 func (f *QR) applyQT(b []float64) {
 	for k := 0; k < f.n; k++ {
+		//lint:ignore floateq tau is set to exactly 0 as the no-reflector sentinel
 		if f.tau[k] == 0 {
 			continue
 		}
@@ -122,6 +124,7 @@ func (f *QR) RankTol(tol float64) int {
 			max = v
 		}
 	}
+	//lint:ignore floateq an exactly-zero diagonal means rank 0 regardless of tol
 	if max == 0 {
 		return 0
 	}

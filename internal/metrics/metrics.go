@@ -164,6 +164,7 @@ func MAPE(actual, predicted []float64) (float64, error) {
 	var sum float64
 	var n int
 	for i := range actual {
+		//lint:ignore floateq MAPE is documented to skip exactly-zero actuals (undefined percentage error)
 		if actual[i] == 0 {
 			continue
 		}

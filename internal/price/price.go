@@ -9,7 +9,7 @@
 // redistributable, so the embedded traces are synthetic reconstructions
 // anchored to the exact Table III values at hours 6 and 7 and shaped like
 // Fig. 2 (including Wisconsin's 7 a.m. spike and the early-morning negative
-// prices visible in the figure). See DESIGN.md §3.6.
+// prices visible in the figure). See DESIGN.md §3.7.
 package price
 
 import (
@@ -223,15 +223,19 @@ type BidStackConfig struct {
 
 // NewBidStackModel builds the load-coupled stochastic model on top of base.
 func NewBidStackModel(base *TraceModel, cfg BidStackConfig) *BidStackModel {
+	//lint:ignore floateq documented sentinel: an exactly-zero Sensitivity means "use the default"
 	if cfg.Sensitivity == 0 {
 		cfg.Sensitivity = 0.5
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero RefMW means "use the default"
 	if cfg.RefMW == 0 {
 		cfg.RefMW = 10
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero Gamma means "use the default"
 	if cfg.Gamma == 0 {
 		cfg.Gamma = 1.2
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero Theta means "use the default"
 	if cfg.Theta == 0 {
 		cfg.Theta = 0.6
 	}

@@ -97,6 +97,8 @@ const (
 // Active slices live in the workspace and are overwritten by the next solve
 // through the same ws. Callers that retain them across solves must copy.
 // Solve (nil ws) returns independently-owned results.
+//
+//lint:nocopy
 type Workspace struct {
 	hChol  *mat.Cholesky
 	hReady bool
@@ -139,14 +141,18 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // rows materializes (and caches) the constraint rows of p.
 func (ws *Workspace) rows(p *Problem) (aeqRows, ainRows [][]float64) {
 	if ws.aeqRows == nil && p.Aeq != nil {
+		//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
 		ws.aeqRows = make([][]float64, p.Aeq.Rows())
 		for i := range ws.aeqRows {
+			//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
 			ws.aeqRows[i] = p.Aeq.Row(i)
 		}
 	}
 	if ws.ainRows == nil && p.Ain != nil {
+		//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
 		ws.ainRows = make([][]float64, p.Ain.Rows())
 		for i := range ws.ainRows {
+			//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
 			ws.ainRows[i] = p.Ain.Row(i)
 		}
 	}
@@ -187,16 +193,26 @@ func (p *Problem) Objective(x []float64) float64 {
 }
 
 // Solve runs the active-set method with no cross-solve reuse.
+//
+//lint:hotpath
 func Solve(p *Problem) (*Result, error) { return SolveWith(p, nil) }
 
 // SolveWith runs the active-set method, reusing the Workspace caches when
 // ws is non-nil (see Workspace for the validity contract). Results are
 // bit-identical to Solve.
+//
+// With a warm workspace and grown scratch, a solve that stays on the
+// cached Schur path performs zero heap allocations
+// (TestSolveWithSteadyStateAllocFree); idclint's hotalloc analyzer checks
+// that statically from this root.
+//
+//lint:hotpath
 func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if ws == nil {
+		//lint:ignore hotalloc cold path: steady-state callers pass a warm workspace
 		ws = NewWorkspace() // per-call scratch: no reuse, same arithmetic
 	}
 	n := p.H.Rows()
@@ -208,6 +224,7 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	if p.X0 != nil {
 		copy(x, p.X0)
 		if !ws.feasible(p, x, featol) {
+			//lint:ignore hotalloc cold start: phase-1 LP runs only when the warm start is infeasible
 			fx, err := findFeasible(p)
 			if err != nil {
 				return nil, err
@@ -215,6 +232,7 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 			x = fx
 		}
 	} else if p.Aeq != nil || p.Ain != nil {
+		//lint:ignore hotalloc cold start: no warm-start point was supplied at all
 		fx, err := findFeasible(p)
 		if err != nil {
 			return nil, err
@@ -239,6 +257,7 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	// Schur-driven loop stalls (severe conditioning can pass the cheap
 	// estimate yet still produce meaningless directions).
 	if !ws.hReady {
+		//lint:ignore hotalloc factored once per workspace, reused by every later solve
 		hChol, _ := mat.FactorCholesky(p.H)
 		if hChol != nil && hChol.CondEstimate() > 1e12 {
 			hChol = nil
@@ -262,6 +281,7 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 
 	// Working set over inequality indices.
 	if cap(ws.activeBuf) < mIn {
+		//lint:ignore hotalloc grow-only scratch: allocates only until the steady size is reached
 		ws.activeBuf = make([]bool, mIn)
 	}
 	active := ws.activeBuf[:mIn]
@@ -373,12 +393,16 @@ func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows []
 	workRows := ws.workRows[:0]
 	workIDs := ws.workIDs[:0]
 	for i := 0; i < mEq; i++ {
+		//lint:ignore hotalloc grow-only scratch: backing arrays reach steady size, then reused
 		workRows = append(workRows, aeqRows[i])
+		//lint:ignore hotalloc grow-only scratch: backing arrays reach steady size, then reused
 		workIDs = append(workIDs, i)
 	}
 	for i, a := range active {
 		if a {
+			//lint:ignore hotalloc grow-only scratch: backing arrays reach steady size, then reused
 			workRows = append(workRows, ainRows[i])
+			//lint:ignore hotalloc grow-only scratch: backing arrays reach steady size, then reused
 			workIDs = append(workIDs, mEq+i)
 		}
 	}
@@ -399,6 +423,7 @@ func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows []
 		}
 		// Ill-conditioned Schur complement: fall through to the dense path.
 	}
+	//lint:ignore hotalloc dense fallback for semidefinite H; the Schur path is the steady state
 	return denseKKTStep(p, workRows, grad, n)
 }
 
@@ -421,9 +446,11 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	// of the workspace (H does not change while it is valid). Cache misses
 	// allocate their vector — it must outlive the call inside the map.
 	if ws.z == nil {
+		//lint:ignore hotalloc built once per workspace, then reused
 		ws.z = make(map[int][]float64)
 	}
 	if cap(ws.zrows) < k {
+		//lint:ignore hotalloc grow-only scratch: allocates only until the steady size is reached
 		ws.zrows = make([][]float64, k)
 	}
 	z := ws.zrows[:k] // z[i] = H⁻¹·a_i
@@ -432,6 +459,7 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 			z[i] = cached
 			continue
 		}
+		//lint:ignore hotalloc cache miss: the vector must outlive the call inside the map
 		zi := make([]float64, n)
 		if err := hChol.SolveVecInto(zi, row); err != nil {
 			return nil, nil, fmt.Errorf("qp: H solve: %w", err)
@@ -445,6 +473,7 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	// product is stable and the cached value is the bit the fresh
 	// computation would produce.
 	if ws.schur == nil {
+		//lint:ignore hotalloc built once per workspace, then reused
 		ws.schur = make(map[[2]int]float64)
 	}
 	ws.schurBuf = mat.ReuseDense(ws.schurBuf, k, k)
@@ -481,6 +510,7 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	copy(dir, y)
 	for i := 0; i < k; i++ {
 		li := lam[i]
+		//lint:ignore floateq skip-zero fast path is exact by design: only true zeros skip
 		if li == 0 {
 			continue
 		}
@@ -558,6 +588,7 @@ func (ps *pruneState) beginSolve() { ps.call = 0 }
 // the first working-set change are re-orthogonalized.
 func pruneDependent(aeqRows, ainRows [][]float64, active []bool, mEq int, ps *pruneState) {
 	if ps.call >= len(ps.seqs) {
+		//lint:ignore hotalloc grow-only cache: one sequence per call index, then reused
 		ps.seqs = append(ps.seqs, nil)
 	}
 	entries := ps.seqs[ps.call]
@@ -567,9 +598,11 @@ func pruneDependent(aeqRows, ainRows [][]float64, active []bool, mEq int, ps *pr
 	// or nil when the row is numerically dependent.
 	residualOf := func(row []float64) []float64 {
 		norm0 := mat.NormVec(row)
+		//lint:ignore floateq an exactly-zero row has no direction and must be rejected
 		if norm0 == 0 {
 			return nil
 		}
+		//lint:ignore hotalloc cache miss: steady-state re-solves replay cached decisions instead
 		r := append([]float64{}, row...)
 		for pass := 0; pass < 2; pass++ {
 			for _, e := range entries[:pos] {
@@ -641,6 +674,7 @@ func (ws *Workspace) activeList(active []bool) []int {
 	ws.activeIdx = ws.activeIdx[:0]
 	for i, a := range active {
 		if a {
+			//lint:ignore hotalloc grow-only scratch: backing array reaches steady size, then reused
 			ws.activeIdx = append(ws.activeIdx, i)
 		}
 	}
@@ -881,6 +915,7 @@ func SolveLS(l *LSProblem) (*Result, error) { return SolveLSWith(l, nil, nil) }
 // contract. Results are bit-identical to SolveLS.
 func SolveLSWith(l *LSProblem, form *LSForm, ws *Workspace) (*Result, error) {
 	if form == nil {
+		//lint:ignore hotalloc form-less fallback; hot callers pass a cached LSForm
 		p, err := l.Lower()
 		if err != nil {
 			return nil, err
@@ -897,6 +932,7 @@ func SolveLSWith(l *LSProblem, form *LSForm, ws *Workspace) (*Result, error) {
 		return nil, fmt.Errorf("wq has length %d, want %d: %w", len(l.Wq), l.M.Rows(), ErrBadProblem)
 	}
 	if ws == nil {
+		//lint:ignore hotalloc cold path: steady-state callers pass a warm workspace
 		ws = NewWorkspace()
 	}
 	q, err := l.linearTermInto(ws)

@@ -24,6 +24,7 @@ func ErlangC(n int, a float64) (float64, error) {
 	if n <= 0 || a < 0 {
 		return 0, fmt.Errorf("ErlangC(n=%d, a=%g): %w", n, a, ErrBadParam)
 	}
+	//lint:ignore floateq exactly-zero offered load has exactly-zero wait probability
 	if a == 0 {
 		return 0, nil
 	}

@@ -142,6 +142,7 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Steps <= 0 {
 		return nil, fmt.Errorf("steps %d: %w", sc.Steps, ErrBadScenario)
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero Ts means "use the default"
 	if sc.Ts == 0 {
 		sc.Ts = 30
 	}

@@ -68,6 +68,7 @@ func (c *DiurnalConfig) defaults() error {
 	if c.Base <= 0 {
 		return fmt.Errorf("base %g: %w", c.Base, ErrBadConfig)
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero PeakBoost means "use the default"
 	if c.PeakBoost == 0 {
 		c.PeakBoost = 1.5
 	}
@@ -83,6 +84,7 @@ func (c *DiurnalConfig) defaults() error {
 	if c.NoiseFrac < 0 || c.NoiseFrac >= 1 {
 		return fmt.Errorf("noise fraction %g: %w", c.NoiseFrac, ErrBadConfig)
 	}
+	//lint:ignore floateq documented sentinel: an exactly-zero NoiseCorr means "use the default"
 	if c.NoiseCorr == 0 {
 		c.NoiseCorr = 0.8
 	}
@@ -202,6 +204,7 @@ func poisson(rng *rand.Rand, mean float64) float64 {
 // StationaryMean returns the long-run mean rate of the MMPP.
 func (m *MMPP2) StationaryMean() float64 {
 	p12, p21 := m.cfg.P12, m.cfg.P21
+	//lint:ignore floateq degenerate-chain guard: both transition probabilities exactly zero
 	if p12+p21 == 0 {
 		return m.cfg.Rate1 // chain never leaves state 0
 	}
