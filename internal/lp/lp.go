@@ -165,6 +165,9 @@ type tableau struct {
 	nOrig  int
 	nSlack int
 	nArt   int
+	// nTotal is the column count excluding the rhs; every row has nTotal+1
+	// entries.
+	nTotal int
 	m      int
 	mEq    int
 	iters  int
@@ -201,6 +204,7 @@ func newTableau(p *Problem) *tableau {
 		basis:    make([]int, m),
 		nOrig:    nOrig,
 		nSlack:   nSlack,
+		nTotal:   nTotal,
 		m:        m,
 		mEq:      mEq,
 		artStart: nOrig + nSlack,
@@ -274,7 +278,10 @@ func (t *tableau) colIsUnit(j, r int) bool {
 	return true
 }
 
-func (t *tableau) rhsCol() int { return len(t.a[0]) - 1 }
+// rhsCol is the rhs column index. It must not read t.a: a problem with no
+// constraint rows has an empty tableau but still runs phase 2 (x = 0 is
+// optimal for c ≥ 0, otherwise the LP is unbounded).
+func (t *tableau) rhsCol() int { return t.nTotal }
 
 // run executes phase 1 (if artificials exist) and phase 2, returning the
 // result in terms of the original variables. Objective coefficients are

@@ -1,0 +1,53 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// An LP with no constraint rows used to panic in tableau.run (rhsCol read
+// t.a[0] of an empty tableau). With x >= 0 implicit, c >= 0 makes x = 0
+// optimal and any negative cost coefficient makes the problem unbounded.
+func TestSolveUnconstrained(t *testing.T) {
+	res, err := Solve(&Problem{C: []float64{1, 0, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if res.Obj != 0 {
+		t.Fatalf("obj = %g, want 0", res.Obj)
+	}
+	for i, v := range res.X {
+		if v != 0 {
+			t.Fatalf("X[%d] = %g, want 0", i, v)
+		}
+	}
+
+	res, err = Solve(&Problem{C: []float64{1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+// The stateful solver takes the same path cold and must also survive a
+// warm resolve over an empty tableau.
+func TestSolverUnconstrained(t *testing.T) {
+	var s Solver
+	for i, c := range [][]float64{{1, 2}, {3, 4}, {0, math.SmallestNonzeroFloat64}} {
+		res, err := s.Solve(&Problem{C: c})
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		if res.Status != Optimal || res.Obj != 0 {
+			t.Fatalf("solve %d: status %v obj %g, want optimal 0", i, res.Status, res.Obj)
+		}
+	}
+	if warm, cold := s.Stats(); warm == 0 || cold != 1 {
+		t.Fatalf("warm/cold = %d/%d, want warm resolves after one cold solve", warm, cold)
+	}
+}
