@@ -1,0 +1,149 @@
+package mat
+
+import (
+	"testing"
+)
+
+// fuzzValue maps one fuzz byte to a finite float64. Quarter-integer values
+// keep every input exactly representable; zeros appear often enough to
+// exercise the kernels' skip-zero fast paths.
+func fuzzValue(b byte) float64 {
+	if b%4 == 0 {
+		return 0
+	}
+	return float64(int8(b)) / 4
+}
+
+func fuzzDense(data []byte, off *int, r, c int) *Dense {
+	d := Zeros(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			var b byte
+			if *off < len(data) {
+				b = data[*off]
+				*off++
+			}
+			d.Set(i, j, fuzzValue(b))
+		}
+	}
+	return d
+}
+
+func fuzzVec(data []byte, off *int, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		var b byte
+		if *off < len(data) {
+			b = data[*off]
+			*off++
+		}
+		v[i] = fuzzValue(b)
+	}
+	return v
+}
+
+// FuzzMulInto checks that the in-place product kernels — including their
+// skip-zero fast paths and scratch reuse — are bit-identical to naive
+// reference loops, for fresh, dirty-reused, and nil destinations.
+func FuzzMulInto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 3, 2, 4, 8, 12, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte("\x05\x01\x05 mixed zero and nonzero entries \x00\xff\x80"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		next := func() byte {
+			if off < len(data) {
+				b := data[off]
+				off++
+				return b
+			}
+			return 0
+		}
+		m := int(next()%5) + 1
+		k := int(next()%5) + 1
+		n := int(next()%5) + 1
+		a := fuzzDense(data, &off, m, k)
+		b := fuzzDense(data, &off, k, n)
+		x := fuzzVec(data, &off, k)
+		y := fuzzVec(data, &off, m)
+
+		// Reference product, accumulating over k in index order exactly as
+		// MulInto does, so equality is bit-exact rather than approximate.
+		want := Zeros(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for kk := 0; kk < k; kk++ {
+					s += a.At(i, kk) * b.At(kk, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+
+		got, err := MulInto(nil, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, want) {
+			t.Fatalf("MulInto(nil) != naive product:\n%v\nvs\n%v", got, want)
+		}
+		// A dirty, wrongly-shaped destination must be reshaped and fully
+		// overwritten, with identical results.
+		dirty := MustNew(1, 2, []float64{3, -7})
+		reused, err := MulInto(dirty, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused != dirty {
+			t.Fatal("MulInto did not preserve destination identity")
+		}
+		if !Equal(reused, want) {
+			t.Fatalf("MulInto(dirty) != naive product:\n%v\nvs\n%v", reused, want)
+		}
+
+		// MulVecInto dst = a*x against a plain dot-product loop.
+		wantV := make([]float64, m)
+		for i := 0; i < m; i++ {
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += a.At(i, kk) * x[kk]
+			}
+			wantV[i] = s
+		}
+		gotV := []float64{1, -1, 1, -1, 1}[:0]
+		gotV = append(gotV, make([]float64, m)...)
+		if err := MulVecInto(gotV, a, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantV {
+			if gotV[i] != wantV[i] {
+				t.Fatalf("MulVecInto[%d] = %g, want %g", i, gotV[i], wantV[i])
+			}
+		}
+
+		// MulTVecInto dst = aᵀ*y accumulates over rows in index order; the
+		// reference does the same.
+		wantT := make([]float64, k)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				wantT[j] += y[i] * a.At(i, j)
+			}
+		}
+		gotT := make([]float64, k)
+		if err := MulTVecInto(gotT, a, y); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantT {
+			if gotT[i] != wantT[i] {
+				t.Fatalf("MulTVecInto[%d] = %g, want %g", i, gotT[i], wantT[i])
+			}
+		}
+
+		// TransposeInto round-trips bit-exactly.
+		tr := TransposeInto(nil, a)
+		back := TransposeInto(nil, tr)
+		if !Equal(back, a) {
+			t.Fatalf("TransposeInto round trip changed the matrix:\n%v\nvs\n%v", back, a)
+		}
+	})
+}
