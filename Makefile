@@ -10,10 +10,13 @@
 #                  protocol, float ==, nocopy structs); see DESIGN.md §3.6.
 #   make test    — fast unit tests only, in shuffled order.
 #   make bench   — the paper-artifact benchmarks with series checksums,
-#                  recorded to $(BENCH_JSON) for regression comparison.
+#                  recorded to $(BENCH_JSON); the run fails if any series
+#                  checksum drifts from the $(BENCH_REF) snapshot (results
+#                  must be bit-identical across PRs; only timings may move).
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR5.json
+BENCH_REF ?= BENCH_PR3.json
 
 .PHONY: check vet lint build test race bench
 
@@ -35,4 +38,4 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run XXX -bench . -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+	$(GO) test -run XXX -bench . -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON) -check-series $(BENCH_REF)

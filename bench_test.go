@@ -16,6 +16,7 @@ import (
 	"repro/internal/idc"
 	"repro/internal/lp"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/qp"
 	"repro/internal/sim"
@@ -169,6 +170,19 @@ func BenchmarkMPCStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Benchmark the instrumented path — the one a wired Controller runs —
+	// so the recorded ns/op carries the observability overhead.
+	reg := obs.NewRegistry()
+	mpc.SetInstruments(ctrl.Instruments{
+		CacheHits:   reg.Counter("bench_mpc_cache_hits_total", ""),
+		CacheMisses: reg.Counter("bench_mpc_cache_misses_total", ""),
+		ModelSwaps:  reg.Counter("bench_mpc_model_swaps_total", ""),
+		QP: qp.Instruments{
+			Iterations:     reg.Counter("bench_qp_iterations_total", ""),
+			Factorizations: reg.Counter("bench_qp_factorizations_total", ""),
+			FactorReuse:    reg.Counter("bench_qp_factor_reuse_total", ""),
+		},
+	})
 	in := ctrl.StepInput{
 		Model:    model,
 		State:    make([]float64, model.StateDim()),
@@ -215,6 +229,12 @@ func BenchmarkReferenceLP(b *testing.B) {
 	})
 	b.Run("Warm", func(b *testing.B) {
 		s := repro.NewReferenceSolver()
+		reg := obs.NewRegistry()
+		s.SetInstruments(lp.Instruments{
+			WarmSolves: reg.Counter("bench_lp_warm_solves_total", ""),
+			ColdSolves: reg.Counter("bench_lp_cold_solves_total", ""),
+			Pivots:     reg.Counter("bench_lp_pivots_total", ""),
+		})
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Optimize(top, hourly[i%24], demands); err != nil {
 				b.Fatal(err)

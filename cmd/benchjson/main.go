@@ -50,6 +50,7 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("out", "", "write the JSON summary to this file (required)")
+	checkPath := fs.String("check-series", "", "compare series-sum/MW-sum checksums against this reference summary and fail on any drift")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +99,65 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	if len(sum.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	if *checkPath != "" {
+		return checkSeries(&sum, *checkPath)
+	}
+	return nil
+}
+
+// checksumUnit reports whether a metric unit is a result checksum —
+// deterministic by construction, so any drift between runs is a behavior
+// change, not noise.
+func checksumUnit(unit string) bool {
+	return strings.HasSuffix(unit, "series-sum") || strings.HasSuffix(unit, "MW-sum")
+}
+
+// checkSeries compares every checksum metric present in both sum and the
+// reference summary at path, bit-exactly. Timing metrics (ns/op, B/op …)
+// are machine-dependent and ignored; checksums must not move at all.
+func checkSeries(sum *Summary, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("check-series: %w", err)
+	}
+	var ref Summary
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("check-series %s: %w", path, err)
+	}
+	refVals := make(map[string]float64)
+	for _, b := range ref.Benchmarks {
+		for unit, v := range b.Metrics {
+			if checksumUnit(unit) {
+				refVals[b.Name+" "+unit] = v
+			}
+		}
+	}
+	var mismatches []string
+	compared := 0
+	for _, b := range sum.Benchmarks {
+		for unit, v := range b.Metrics {
+			if !checksumUnit(unit) {
+				continue
+			}
+			want, ok := refVals[b.Name+" "+unit]
+			if !ok {
+				continue // new benchmark: nothing to compare against
+			}
+			compared++
+			//lint:ignore floateq checksums are deterministic; any ulp of drift is a real behavior change
+			if v != want {
+				mismatches = append(mismatches,
+					fmt.Sprintf("%s %s: got %v, reference %v", b.Name, unit, v, want))
+			}
+		}
+	}
+	if len(mismatches) > 0 {
+		return fmt.Errorf("check-series: %d checksum(s) drifted from %s:\n  %s",
+			len(mismatches), path, strings.Join(mismatches, "\n  "))
+	}
+	if compared == 0 {
+		return fmt.Errorf("check-series: no common checksum metrics with %s", path)
 	}
 	return nil
 }

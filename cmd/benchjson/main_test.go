@@ -80,3 +80,78 @@ func TestNoBenchmarksIsAnError(t *testing.T) {
 		t.Fatalf("want no-benchmark error, got %v", err)
 	}
 }
+
+const seriesSample = `BenchmarkFig4Smoothing-4 	      10	 104948436 ns/op	 5903135 series-sum	 42.5 MW-sum
+BenchmarkAllExperiments-4 	       1	 904948436 ns/op	 5903135 series-sum
+PASS
+ok  	repro	2.459s
+`
+
+// writeRef writes a reference summary with the given Fig4Smoothing
+// series-sum and returns its path.
+func writeRef(t *testing.T, seriesSum float64) string {
+	t.Helper()
+	ref := Summary{Benchmarks: []Benchmark{
+		{Name: "Fig4Smoothing", Iterations: 10, Metrics: map[string]float64{
+			"ns/op": 999999, "series-sum": seriesSum, "MW-sum": 42.5,
+		}},
+		{Name: "Retired", Iterations: 1, Metrics: map[string]float64{"series-sum": 1}},
+	}}
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ref.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckSeriesMatch(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := writeRef(t, 5903135)
+	var stdout bytes.Buffer
+	// ns/op differs wildly from the reference and Retired is gone; only the
+	// shared checksums are compared, so this passes.
+	if err := run([]string{"-out", outPath, "-check-series", ref}, strings.NewReader(seriesSample), &stdout); err != nil {
+		t.Fatalf("run with matching checksums: %v", err)
+	}
+}
+
+func TestCheckSeriesDriftFails(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := writeRef(t, 5903136) // off by one
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-series", ref}, strings.NewReader(seriesSample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("want drift error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "Fig4Smoothing series-sum") {
+		t.Errorf("drift error does not name the metric: %v", err)
+	}
+	// The summary file is still written for inspection.
+	if _, statErr := os.Stat(outPath); statErr != nil {
+		t.Fatalf("summary not written on drift: %v", statErr)
+	}
+}
+
+func TestCheckSeriesNoOverlapFails(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := writeRef(t, 5903135)
+	in := "BenchmarkX-4 10 5 ns/op\nPASS\nok\trepro\t0.1s\n"
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-series", ref}, strings.NewReader(in), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "no common checksum") {
+		t.Fatalf("want no-overlap error, got %v", err)
+	}
+}
+
+func TestCheckSeriesMissingRefFails(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-series", "/no/such/ref.json"}, strings.NewReader(seriesSample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "check-series") {
+		t.Fatalf("want check-series error, got %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -100,5 +101,34 @@ func TestReportMode(t *testing.T) {
 		if !strings.Contains(content, want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+}
+
+func TestCanceledRunSkipsExperimentsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := runCtx(ctx, []string{"-exp", "table1,table2"}, &buf); err != nil {
+		t.Fatalf("canceled run should exit cleanly, got %v", err)
+	}
+	if strings.Contains(buf.String(), "== table1") {
+		t.Error("canceled run still emitted experiment output")
+	}
+}
+
+func TestCanceledReportStillWritten(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	path := filepath.Join(t.TempDir(), "report.md")
+	var buf bytes.Buffer
+	if err := runCtx(ctx, []string{"-report", path}, &buf); err != nil {
+		t.Fatalf("canceled report run should exit cleanly, got %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(data), "Interrupted:") {
+		t.Error("report does not note the interruption")
 	}
 }

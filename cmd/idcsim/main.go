@@ -10,17 +10,25 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/ctrl"
 	"repro/internal/idc"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -28,13 +36,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the context rather than killing the process, so
+	// an interrupted run still flushes its trace and emits the partial
+	// series instead of dropping everything on the floor.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "idcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) (err error) {
+// run keeps the historical signature for tests and non-interactive callers.
+func run(args []string, out io.Writer) error {
+	return runCtx(context.Background(), args, out)
+}
+
+func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("idcsim", flag.ContinueOnError)
 	steps := fs.Int("steps", 140, "fast-loop steps to simulate")
 	ts := fs.Float64("ts", 30, "sampling period in seconds")
@@ -54,6 +72,8 @@ func run(args []string, out io.Writer) (err error) {
 	format := fs.String("format", "csv", "output format: csv or json")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus /metrics and /debug/vars on this address (e.g. :9090)")
+	traceFile := fs.String("trace", "", "write a JSONL per-step telemetry trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +95,31 @@ func run(args []string, out io.Writer) (err error) {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	if *metricsAddr != "" {
+		closeMetrics, merr := serveMetrics(*metricsAddr)
+		if merr != nil {
+			return merr
+		}
+		defer closeMetrics()
+	}
+	var traceW io.Writer
+	if *traceFile != "" {
+		f, terr := os.Create(*traceFile)
+		if terr != nil {
+			return fmt.Errorf("trace: %w", terr)
+		}
+		bw := bufio.NewWriter(f)
+		// Flush even on the cancellation path: the partial trace is the point.
+		defer func() {
+			if ferr := bw.Flush(); err == nil {
+				err = ferr
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		traceW = bw
+	}
 
 	if *configPath != "" {
 		file, err := config.Load(*configPath)
@@ -85,11 +130,8 @@ func run(args []string, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(sc)
-		if err != nil {
-			return err
-		}
-		return emit(out, res)
+		sc.TraceWriter = traceW
+		return emitMaybePartial(ctx, sc, emit, out)
 	}
 
 	top := idc.PaperTopology()
@@ -143,6 +185,7 @@ func run(args []string, out io.Writer) (err error) {
 		MPC:          ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: *smooth, PredHorizon: *predH, CtrlHorizon: *ctrlH},
 		Budgets:      budgets,
 		SkipBaseline: *noBaseline,
+		TraceWriter:  traceW,
 	}
 	if *workloadTrace != "" {
 		f, err := os.Open(*workloadTrace)
@@ -190,11 +233,37 @@ func run(args []string, out io.Writer) (err error) {
 		sc.Demands = portals.Demands
 	}
 
-	res, err := sim.Run(sc)
+	return emitMaybePartial(ctx, sc, emit, out)
+}
+
+// emitMaybePartial runs sc under ctx and emits its result. A run cut short
+// by cancellation (SIGINT/SIGTERM) still emits the steps recorded so far —
+// flagged on stderr — and exits cleanly.
+func emitMaybePartial(ctx context.Context, sc sim.Scenario, emit func(io.Writer, *sim.Result) error, out io.Writer) error {
+	res, err := sim.RunContext(ctx, sc)
 	if err != nil {
-		return err
+		if res == nil || !errors.Is(err, context.Canceled) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "idcsim: interrupted after %d of %d steps; emitting partial results\n",
+			res.Control.Steps(), sc.Steps)
 	}
 	return emit(out, res)
+}
+
+// serveMetrics exposes the process-wide instrument registry over HTTP:
+// /metrics (Prometheus text) and /debug/vars (expvar JSON).
+func serveMetrics(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	reg := obs.Default()
+	reg.PublishExpvar("idc")
+	srv := &http.Server{Handler: reg.ServeMux()}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	fmt.Fprintf(os.Stderr, "idcsim: serving metrics on http://%s/metrics\n", ln.Addr())
+	return func() { srv.Close() }, nil
 }
 
 // jsonSeries is the JSON projection of one method's record.

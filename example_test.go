@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
@@ -27,6 +28,42 @@ func ExampleNew() {
 	fmt.Printf("hour %d, total %.3f MW\n", tel.Hour,
 		(tel.PowerWatts[0]+tel.PowerWatts[1]+tel.PowerWatts[2])/1e6)
 	// Output: hour 6, total 17.531 MW
+}
+
+// ExampleNew_options wires the observability hooks: an isolated metrics
+// registry, a per-step telemetry observer, and a JSONL trace — all attached
+// as options, leaving the Config (and the control behavior) untouched.
+func ExampleNew_options() {
+	reg := repro.NewMetrics()
+	var traced bytes.Buffer
+	steps := 0
+	controller, err := repro.New(repro.Config{
+		Topology:  repro.PaperTopology(),
+		Prices:    repro.NewEmbeddedPrices(),
+		Ts:        30,
+		StartHour: 6,
+		MPC:       repro.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+	},
+		repro.WithMetrics(reg),
+		repro.WithTrace(&traced),
+		repro.WithObserver(repro.ObserverFunc(func(*repro.Telemetry) { steps++ })),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := controller.Step(repro.TableIDemands()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	total, _ := snap.Counter("idc_steps_total")
+	cold, _ := snap.Counter("idc_lp_cold_solves_total")
+	fmt.Printf("observed %d steps, counted %d, reference LP cold solves %d\n", steps, total, cold)
+	fmt.Printf("trace lines: %d\n", bytes.Count(traced.Bytes(), []byte("\n")))
+	// Output:
+	// observed 4 steps, counted 4, reference LP cold solves 1
+	// trace lines: 4
 }
 
 // ExampleOptimalAllocation solves the Rao-style per-step LP (eq. 46) for

@@ -96,6 +96,10 @@ func (s *Solver) OptimizeWithBudgets(top *idc.Topology, prices, demands, budgets
 // Stats reports the underlying LP solver's warm/cold solve counts.
 func (s *Solver) Stats() (warm, cold int) { return s.lp.Stats() }
 
+// SetInstruments installs observability hooks on the underlying LP solver
+// (see lp.Instruments); call before the first Optimize.
+func (s *Solver) SetInstruments(in lp.Instruments) { s.lp.SetInstruments(in) }
+
 // Reset drops the retained LP state; the next call solves cold.
 func (s *Solver) Reset() { s.lp.Reset() }
 

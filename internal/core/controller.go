@@ -20,14 +20,17 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/ctrl"
 	"repro/internal/forecast"
 	"repro/internal/idc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/price"
 	"repro/internal/queueing"
@@ -120,6 +123,13 @@ type Controller struct {
 	// their differently-shaped problems never churn the retained basis.
 	refSolver *alloc.Solver
 
+	// Observability (see options.go and DESIGN.md §3.8).
+	instr     instruments
+	metrics   *obs.Registry
+	observers []Observer
+	trace     *json.Encoder
+	now       func() time.Time
+
 	// Mutable loop state.
 	step     int
 	model    *ctrl.Model
@@ -140,8 +150,17 @@ type Controller struct {
 	pendingResolve bool
 }
 
-// New validates the configuration and builds a controller.
-func New(cfg Config) (*Controller, error) {
+// New validates the configuration and builds a controller. Options attach
+// observability and test hooks; New(cfg) with no options is the original
+// call and behaves identically (its instruments land in obs.Default(),
+// which costs one atomic op per event and is otherwise inert).
+func New(cfg Config, opts ...Option) (*Controller, error) {
+	op := defaultOptions()
+	for _, o := range opts {
+		if o != nil {
+			o(&op)
+		}
+	}
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("nil topology: %w", ErrBadConfig)
 	}
@@ -205,7 +224,7 @@ func New(cfg Config) (*Controller, error) {
 			preds[i] = p
 		}
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:       cfg,
 		mpc:       mpc,
 		slp:       slp,
@@ -213,8 +232,22 @@ func New(cfg Config) (*Controller, error) {
 		budgets:   budgets,
 		refSolver: alloc.NewSolver(),
 		state:     make([]float64, n+1),
-	}, nil
+		instr:     newInstruments(op.metrics),
+		metrics:   op.metrics,
+		observers: op.observers,
+		now:       op.now,
+	}
+	if op.trace != nil {
+		c.trace = json.NewEncoder(op.trace)
+	}
+	c.refSolver.SetInstruments(lpInstruments(op.metrics))
+	c.mpc.SetInstruments(mpcInstruments(op.metrics))
+	return c, nil
 }
+
+// Metrics returns the registry this controller's instruments live in —
+// obs.Default() unless WithMetrics overrode it.
+func (c *Controller) Metrics() *obs.Registry { return c.metrics }
 
 // Budgets returns a copy of the active per-IDC budgets (0 = none).
 func (c *Controller) Budgets() []float64 {
@@ -273,6 +306,7 @@ func hourOf(step int, ts float64) int {
 // Step advances one fast-loop period with the observed portal demands and
 // returns the telemetry record.
 func (c *Controller) Step(demands []float64) (*Telemetry, error) {
+	start := c.now()
 	top := c.cfg.Topology
 	if len(demands) != top.C() {
 		return nil, fmt.Errorf("%d demands for %d portals: %w", len(demands), top.C(), ErrBadConfig)
@@ -338,10 +372,14 @@ func (c *Controller) Step(demands []float64) (*Telemetry, error) {
 		return nil, err
 	}
 	var costRate float64 // $/h
+	violated := false
 	for j, w := range watts {
 		// c.prices is already floored at zero by slowTick (see the
 		// negative-price policy there), so the rate is directly Σ Pr_j·P_j.
 		costRate += c.prices[j] * power.WattsToMW(w)
+		if b := c.budgets[j]; b > 0 && w > b {
+			violated = true
+		}
 	}
 	c.cumCost += costRate * c.cfg.Ts / 3600
 
@@ -367,12 +405,29 @@ func (c *Controller) Step(demands []float64) (*Telemetry, error) {
 		QPIterations:   out.QPIterations,
 	}
 	c.step++
+
+	c.instr.steps.Inc()
+	if violated {
+		c.instr.bgViolate.Inc()
+	}
+	c.instr.costRate.Set(costRate)
+	c.instr.cumCost.Set(c.cumCost)
+	c.instr.fastLoop.Observe(c.now().Sub(start).Seconds())
+	if c.trace != nil {
+		if err := c.trace.Encode(tel); err != nil {
+			return nil, fmt.Errorf("core: trace: %w", err)
+		}
+	}
+	for _, o := range c.observers {
+		o.ObserveStep(tel)
+	}
 	return tel, nil
 }
 
 // slowTick refreshes prices, the model, the reference optimizer and the
 // budget clamp.
 func (c *Controller) slowTick(hour int, demands []float64) error {
+	start := c.now()
 	top := c.cfg.Topology
 	n := top.N()
 
@@ -427,6 +482,8 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		}
 		if usable && top.Feasible(predicted) {
 			refDemands = predicted
+		} else {
+			c.instr.fcFallback.Inc()
 		}
 	}
 	// §IV.D peak shaving: prefer the budget-aware reference LP, which
@@ -436,6 +493,7 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 	// budgets degrade to soft targets, exactly the paper's formulation.
 	ref, err := c.refSolver.OptimizeWithBudgets(top, prices, refDemands, c.budgets)
 	if err != nil && errors.Is(err, alloc.ErrInfeasible) && anyPositive(c.budgets) {
+		c.instr.bgRelax.Inc()
 		ref, err = alloc.Optimize(top, prices, refDemands)
 	}
 	if err != nil {
@@ -449,6 +507,7 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		refPower[j] = ref.PowerWatts[j]
 		if b := c.budgets[j]; b > 0 && refPower[j] > b {
 			refPower[j] = b
+			c.instr.refClamp.Inc()
 		}
 	}
 	c.refPower = refPower
@@ -473,6 +532,8 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		c.started = true
 	}
 	c.pendingResolve = false
+	c.instr.slowTicks.Inc()
+	c.instr.slowTick.Observe(c.now().Sub(start).Seconds())
 	return nil
 }
 

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/ctrl"
+	"repro/internal/lp"
+	"repro/internal/obs"
+	"repro/internal/qp"
+)
+
+// Observer receives the controller's per-step telemetry — the hook through
+// which downstream users plug their own sinks (dashboards, loggers, test
+// probes) into a running Controller. ObserveStep is called synchronously at
+// the end of every successful Step, after the controller's own instruments
+// and trace writer; the *Telemetry is freshly allocated per step with
+// copied slices, so observers may retain it. Observers run on the control
+// goroutine: a slow observer slows the loop.
+type Observer interface {
+	ObserveStep(*Telemetry)
+}
+
+// ObserverFunc adapts an ordinary function to the Observer interface.
+type ObserverFunc func(*Telemetry)
+
+// ObserveStep calls f.
+func (f ObserverFunc) ObserveStep(tel *Telemetry) { f(tel) }
+
+// Option customizes a Controller beyond its Config. The split is
+// deliberate: Config describes the controlled system (topology, prices,
+// horizons, budgets — what the paper parameterizes), Options attach
+// cross-cutting runtime concerns (observability sinks, trace output, test
+// clocks) that leave the control behavior untouched. New(cfg) with no
+// options behaves exactly as it always has.
+type Option func(*options)
+
+type options struct {
+	metrics   *obs.Registry
+	observers []Observer
+	trace     io.Writer
+	now       func() time.Time
+}
+
+func defaultOptions() options {
+	return options{metrics: obs.Default(), now: time.Now}
+}
+
+// WithObserver registers an Observer for per-step telemetry. May be given
+// multiple times; observers are called in registration order.
+func WithObserver(o Observer) Option {
+	return func(op *options) {
+		if o != nil {
+			op.observers = append(op.observers, o)
+		}
+	}
+}
+
+// WithTrace streams one JSON object per step (the Telemetry record) to w —
+// a JSONL trace of the whole run. The controller does not buffer: wrap w
+// in a bufio.Writer and flush it on shutdown for cheap writes. A write
+// failure fails the Step that produced it.
+func WithTrace(w io.Writer) Option {
+	return func(op *options) { op.trace = w }
+}
+
+// WithMetrics directs the controller's instruments into reg instead of the
+// process-wide obs.Default() registry — for isolating one controller's
+// numbers or avoiding process-global state in tests.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(op *options) {
+		if reg != nil {
+			op.metrics = reg
+		}
+	}
+}
+
+// WithClock substitutes the wall clock used for the latency instruments —
+// deterministic tests pass a fake. It does not affect control timing:
+// the controller is stepped externally and never reads the clock for
+// anything but instrumentation.
+func WithClock(now func() time.Time) Option {
+	return func(op *options) {
+		if now != nil {
+			op.now = now
+		}
+	}
+}
+
+// instruments bundles the controller's own observability hooks; see
+// DESIGN.md §3.8 for the firing contract.
+type instruments struct {
+	steps      *obs.Counter
+	slowTicks  *obs.Counter
+	fastLoop   *obs.Histogram
+	slowTick   *obs.Histogram
+	refClamp   *obs.Counter
+	fcFallback *obs.Counter
+	bgRelax    *obs.Counter
+	bgViolate  *obs.Counter
+	costRate   *obs.Gauge
+	cumCost    *obs.Gauge
+}
+
+// newInstruments registers (or re-attaches to) the controller instrument
+// set in reg. Names are shared across controllers on the same registry, so
+// several controllers aggregate — the Prometheus default-registerer model.
+func newInstruments(reg *obs.Registry) instruments {
+	return instruments{
+		steps:      reg.Counter("idc_steps_total", "fast-loop control steps executed"),
+		slowTicks:  reg.Counter("idc_slow_ticks_total", "slow-loop ticks (price/model/reference refreshes)"),
+		fastLoop:   reg.Histogram("idc_fast_loop_seconds", "wall time of one fast-loop Step", obs.LatencyBuckets()),
+		slowTick:   reg.Histogram("idc_slow_tick_seconds", "wall time of one slow tick", obs.LatencyBuckets()),
+		refClamp:   reg.Counter("idc_ref_clamp_total", "per-IDC soft clamps of the power reference to its budget (§IV.D)"),
+		fcFallback: reg.Counter("idc_forecast_fallback_total", "slow ticks that fell back from predicted to observed demand"),
+		bgRelax:    reg.Counter("idc_budget_relax_total", "budget-infeasible reference solves relaxed to the unconstrained LP"),
+		bgViolate:  reg.Counter("idc_budget_violation_steps_total", "steps with at least one IDC above its power budget"),
+		costRate:   reg.Gauge("idc_cost_rate_dollars_per_hour", "instantaneous electricity spend"),
+		cumCost:    reg.Gauge("idc_cost_dollars_total", "integrated electricity spend since step 0"),
+	}
+}
+
+// lpInstruments registers the reference-LP solver's hooks in reg.
+func lpInstruments(reg *obs.Registry) lp.Instruments {
+	return lp.Instruments{
+		WarmSolves: reg.Counter("idc_lp_warm_solves_total", "reference-LP resolves that warm-started from the retained basis"),
+		ColdSolves: reg.Counter("idc_lp_cold_solves_total", "reference-LP solves that ran the full two-phase method"),
+		Pivots:     reg.Counter("idc_lp_pivots_total", "simplex pivot iterations across reference-LP solves"),
+	}
+}
+
+// mpcInstruments registers the fast-loop MPC and QP hooks in reg.
+func mpcInstruments(reg *obs.Registry) ctrl.Instruments {
+	return ctrl.Instruments{
+		CacheHits:   reg.Counter("idc_mpc_cache_hits_total", "MPC steps served from the condensed-matrix cache"),
+		CacheMisses: reg.Counter("idc_mpc_cache_misses_total", "MPC steps that rebuilt the condensed matrices"),
+		ModelSwaps:  reg.Counter("idc_mpc_model_swaps_total", "condensed-cache invalidations from a new or bumped Model"),
+		QP: qp.Instruments{
+			Iterations:     reg.Counter("idc_qp_iterations_total", "active-set iterations across fast-loop QP solves"),
+			Factorizations: reg.Counter("idc_qp_factorizations_total", "Cholesky factorizations of the QP Hessian"),
+			FactorReuse:    reg.Counter("idc_qp_factor_reuse_total", "QP solves that reused the cached Hessian factorization"),
+		},
+	}
+}

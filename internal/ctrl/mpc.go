@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/qp"
 )
 
@@ -86,6 +87,32 @@ type MPC struct {
 	// sc holds Step's grow-only scratch buffers; once they reach the
 	// problem's steady size, a cached-path Step performs no heap allocations.
 	sc stepScratch
+	// instr holds the optional observability hooks; see Instruments.
+	instr Instruments
+}
+
+// Instruments are the MPC's optional observability hooks (internal/obs).
+// All fields are nil-safe no-ops when unset, so an instrumented Step stays
+// zero-alloc and an uninstrumented one pays only nil checks
+// (TestMPCStepInstrumentedAllocFree pins the former).
+type Instruments struct {
+	// CacheHits/CacheMisses count condensed-matrix cache reuse vs rebuilds.
+	CacheHits, CacheMisses *obs.Counter
+	// ModelSwaps counts model identity changes Step observed — every
+	// NewFoldedModel rebuild or Version bump the controller fed in.
+	ModelSwaps *obs.Counter
+	// QP is forwarded to the condensed cache's qp.Workspace.
+	QP qp.Instruments
+}
+
+// SetInstruments installs observability hooks; the QP hooks propagate to
+// the current and all future condensed caches. The zero Instruments value
+// detaches them again.
+func (m *MPC) SetInstruments(in Instruments) {
+	m.instr = in
+	if m.cache != nil {
+		m.cache.ws.SetInstruments(in.QP)
+	}
 }
 
 // stepScratch is MPC.Step's reusable buffer set. Everything the returned
@@ -184,19 +211,25 @@ type StepOutput struct {
 // was computed against the old model's predictions and reference regime.
 func (m *MPC) condensedFor(model *Model) (*condensed, error) {
 	if model != m.lastModel || model.Version() != m.lastVersion {
+		if m.lastModel != nil {
+			m.instr.ModelSwaps.Inc()
+		}
 		m.prevZ = nil
 		m.cache = nil
 		m.lastModel = model
 		m.lastVersion = model.Version()
 	}
 	if m.cache.valid(model) && !m.nocache {
+		m.instr.CacheHits.Inc()
 		return m.cache, nil
 	}
+	m.instr.CacheMisses.Inc()
 	//lint:ignore hotalloc cold cache rebuild: runs only when the model identity changed
 	cd, err := newCondensed(model, m.cfg)
 	if err != nil {
 		return nil, err
 	}
+	cd.ws.SetInstruments(m.instr.QP)
 	if !m.nocache {
 		m.cache = cd
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -24,6 +25,15 @@ type RunResult struct {
 // exactly once no matter which worker gets there first. Outputs are
 // deterministic: a pool of 1 and a pool of N produce identical results.
 func RunAll(exps []Experiment, workers int) []RunResult {
+	return RunAllContext(context.Background(), exps, workers)
+}
+
+// RunAllContext is RunAll with cancellation: once ctx is canceled no new
+// experiment starts, and every undispatched experiment's RunResult carries
+// ctx's error. Experiments already running finish normally (an experiment
+// is an atomic unit of work), so the returned slice mixes completed and
+// canceled entries — callers report the completed ones as a partial result.
+func RunAllContext(ctx context.Context, exps []Experiment, workers int) []RunResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -46,10 +56,24 @@ func RunAll(exps []Experiment, workers int) []RunResult {
 			}
 		}()
 	}
+	canceledFrom := len(exps)
+dispatch:
 	for i := range exps {
-		jobs <- i
+		if ctx.Err() != nil {
+			canceledFrom = i
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			canceledFrom = i
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	for i := canceledFrom; i < len(exps); i++ {
+		results[i] = RunResult{Experiment: exps[i], Err: ctx.Err()}
+	}
 	return results
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -88,5 +89,59 @@ func TestRunAllEmptyAndOversizedPool(t *testing.T) {
 	rs := RunAll(one, 16) // more workers than jobs
 	if len(rs) != 1 || rs[0].Err != nil || rs[0].Output == nil {
 		t.Fatalf("oversized pool mishandled a single job: %+v", rs)
+	}
+}
+
+// TestRunAllContextCancelSkipsUndispatched verifies the cancellation
+// contract: experiments already dispatched finish, the rest come back with
+// ctx's error, and completed outputs stay in their slots.
+func TestRunAllContextCancelSkipsUndispatched(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	exps := []Experiment{
+		{ID: "first", Run: func() (*Output, error) {
+			// Cancel while the pool is mid-flight, then let the running
+			// experiment finish: one worker, so nothing else dispatches.
+			cancel()
+			close(release)
+			return &Output{Notes: []string{"done"}}, nil
+		}},
+		{ID: "second", Run: func() (*Output, error) {
+			<-release
+			return &Output{}, nil
+		}},
+		{ID: "third", Run: func() (*Output, error) { return &Output{}, nil }},
+	}
+	rs := RunAllContext(ctx, exps, 1)
+	if rs[0].Err != nil || rs[0].Output == nil || rs[0].Output.Notes[0] != "done" {
+		t.Fatalf("dispatched experiment did not finish cleanly: %+v", rs[0])
+	}
+	skipped := 0
+	for _, r := range rs[1:] {
+		if errors.Is(r.Err, context.Canceled) {
+			skipped++
+			if r.Output != nil {
+				t.Errorf("%s: canceled slot carries an output", r.Experiment.ID)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no experiment was marked canceled")
+	}
+}
+
+// TestRunAllContextAlreadyCanceled: a dead context runs nothing.
+func TestRunAllContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	exps := []Experiment{{ID: "x", Run: func() (*Output, error) { ran = true; return &Output{}, nil }}}
+	rs := RunAllContext(ctx, exps, 2)
+	if ran {
+		t.Fatal("experiment ran despite pre-canceled context")
+	}
+	if !errors.Is(rs[0].Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", rs[0].Err)
 	}
 }

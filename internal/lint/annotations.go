@@ -11,6 +11,9 @@ import (
 //
 //	//lint:noalias dst,a,b     (doc comment) dst must not alias listed params
 //	//lint:hotpath             (doc comment) function is a zero-alloc root
+//	//lint:hotsafe why         (doc comment) function is audited allocation-free;
+//	                                         hotalloc trusts it and does not
+//	                                         traverse into it from hot roots
 //	//lint:nocopy              (doc comment) struct must not be copied by value
 //	//lint:versioned bump      (doc comment) field writes require the bump method
 //	//lint:allow floateq       (anywhere)    suppress an analyzer file-wide
@@ -19,7 +22,7 @@ const directivePrefix = "//lint:"
 
 // directive is one parsed //lint: comment.
 type directive struct {
-	Verb string   // "noalias", "hotpath", "nocopy", "versioned", "allow", "ignore"
+	Verb string   // "noalias", "hotpath", "hotsafe", "nocopy", "versioned", "allow", "ignore"
 	Args []string // verb-specific operands
 	Pos  token.Pos
 }
@@ -101,6 +104,10 @@ func parseDirective(c *ast.Comment) (directive, bool, string) {
 	case "hotpath", "nocopy":
 		if len(d.Args) != 0 {
 			return directive{}, false, "malformed //lint:" + d.Verb + ": takes no arguments"
+		}
+	case "hotsafe":
+		if len(d.Args) == 0 {
+			return directive{}, false, "malformed //lint:hotsafe: want a reason, e.g. //lint:hotsafe single atomic add"
 		}
 	case "versioned":
 		if len(d.Args) != 1 {

@@ -14,7 +14,7 @@ import (
 // slice/map/&struct composite literals, escaping closures, and interface
 // boxing at call sites.
 //
-// Two deliberate holes keep the check aligned with what the AllocsPerRun
+// Three deliberate holes keep the check aligned with what the AllocsPerRun
 // tests actually pin:
 //
 //   - Error paths are cold. An if-block whose last statement returns a
@@ -23,6 +23,10 @@ import (
 //   - An //lint:ignore hotalloc comment on a call site both suppresses the
 //     finding and prunes the call edge, so cold fallbacks (cache rebuilds,
 //     cold-start solves) are not traversed.
+//   - A function whose doc comment carries //lint:hotsafe <reason> is an
+//     audited allocation-free leaf — the obs instrument methods (atomic
+//     counter/gauge/histogram updates) carry it. Edges into hotsafe
+//     functions are pruned; the runtime AllocsPerRun pins back the claim.
 //
 // Dynamic dispatch (interface method calls, function values) and stdlib
 // internals are not followed; the AllocsPerRun tests remain the runtime
@@ -37,13 +41,20 @@ func runHotalloc(prog *Program) []Diagnostic {
 	var diags []Diagnostic
 
 	// Roots: every function whose doc comment carries //lint:hotpath.
+	// Functions annotated //lint:hotsafe are audited allocation-free leaves;
+	// edges into them are pruned below. A hotpath root that is also marked
+	// hotsafe is still walked — the explicit root annotation wins.
 	var queue []string
 	rootOf := make(map[string]string) // visited func key -> root key that reached it
+	hotsafe := make(map[string]bool)
 	for key, fi := range prog.funcs {
 		for _, d := range docDirectives(fi.Decl.Doc) {
-			if d.Verb == "hotpath" {
+			switch d.Verb {
+			case "hotpath":
 				queue = append(queue, key)
 				rootOf[key] = key
+			case "hotsafe":
+				hotsafe[key] = true
 			}
 		}
 	}
@@ -55,7 +66,7 @@ func runHotalloc(prog *Program) []Diagnostic {
 		if fi == nil || fi.Decl.Body == nil {
 			continue
 		}
-		w := &hotWalker{prog: prog, pkg: fi.Pkg, root: rootOf[key], fn: fi}
+		w := &hotWalker{prog: prog, pkg: fi.Pkg, root: rootOf[key], fn: fi, hotsafe: hotsafe}
 		w.walk(fi.Decl.Body)
 		diags = append(diags, w.diags...)
 		for _, callee := range w.edges {
@@ -77,6 +88,9 @@ type hotWalker struct {
 	fn    *FuncInfo
 	diags []Diagnostic
 	edges []string
+	// hotsafe holds the keys of //lint:hotsafe-annotated functions; edges
+	// into them are not traversed.
+	hotsafe map[string]bool
 	// allowedLits holds closures that are stack-allocatable in practice:
 	// function literals bound to a local via := or =, or invoked
 	// immediately. Their bodies are still scanned.
@@ -198,7 +212,7 @@ func (w *hotWalker) call(call *ast.CallExpr, visit func(ast.Node) bool) {
 	if w.prog.suppressed("hotalloc", call.Pos()) {
 		return
 	}
-	if key := FuncKey(fn); key != "" {
+	if key := FuncKey(fn); key != "" && !w.hotsafe[key] {
 		w.edges = append(w.edges, key)
 	}
 }

@@ -98,6 +98,7 @@ func TestMalformedDirectives(t *testing.T) {
 		"unknown //lint: directive frobnicate",
 		"malformed //lint:versioned",
 		"malformed //lint:hotpath",
+		"malformed //lint:hotsafe",
 		"malformed //lint:allow",
 		"malformed //lint:ignore",
 	}

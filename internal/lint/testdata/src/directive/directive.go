@@ -14,6 +14,9 @@ func hotpathWithArgs() {}
 //lint:allow
 func allowWithoutNames() {}
 
+//lint:hotsafe
+func hotsafeWithoutReason() {}
+
 func ignoreMissingReason() {
 	//lint:ignore hotalloc
 	_ = make([]float64, 1)

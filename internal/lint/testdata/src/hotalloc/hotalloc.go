@@ -71,3 +71,26 @@ func Boxes(v float64, p *point) {
 func sink(x any) {}
 
 func run(f func()) { f() }
+
+// Instrumented shows the hotsafe hole: edges into audited functions are
+// pruned, so their bodies are not walked from hot roots.
+//
+//lint:hotpath
+func Instrumented() {
+	observe(1)
+	record(2)
+}
+
+// observe is an audited allocation-free leaf in this fixture; the make in
+// its body is only reachable through the pruned hotsafe edge.
+//
+//lint:hotsafe fixture: audited leaf, body must not be walked
+func observe(v float64) {
+	_ = make([]float64, int(v)) // ok: hotsafe edges are not traversed
+}
+
+// record is not annotated, so its body is walked and its allocation is
+// attributed to the call site's root.
+func record(v float64) {
+	_ = make([]float64, int(v)) // want:hotalloc "make allocates"
+}

@@ -2,7 +2,20 @@ package lp
 
 import (
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
+
+// Instruments are the solver's optional observability hooks (see
+// internal/obs). All fields are nil-safe no-ops when unset, so an unwired
+// solver pays one nil check per event and nothing else.
+type Instruments struct {
+	// WarmSolves counts resolves that took the warm-start phase-2 path.
+	WarmSolves *obs.Counter
+	// ColdSolves counts full two-phase solves (first calls and fallbacks).
+	ColdSolves *obs.Counter
+	// Pivots accumulates simplex pivot iterations across solves.
+	Pivots *obs.Counter
+}
 
 // Solver is a stateful LP solver that retains its simplex tableau between
 // calls so that repeated solves over the same constraint set with changing
@@ -46,7 +59,13 @@ type Solver struct {
 	costBuf []float64 // phase-2 cost row scratch for warm resolves
 
 	warm, cold int
+
+	instr Instruments
 }
+
+// SetInstruments installs observability hooks; call before Solve. The
+// zero Instruments value detaches them again.
+func (s *Solver) SetInstruments(in Instruments) { s.instr = in }
 
 // Solve solves p, warm-starting from the previous optimal basis when only the
 // cost vector changed. It is a drop-in replacement for the package-level
@@ -64,11 +83,16 @@ func (s *Solver) Solve(p *Problem) (*Result, error) {
 	}
 	if s.canWarmStart(p) {
 		if res := s.warmSolve(p); res != nil {
+			s.instr.WarmSolves.Inc()
+			s.instr.Pivots.Add(uint64(res.Iterations))
 			return res, nil
 		}
 	}
 	//lint:ignore hotalloc cold fallback: full two-phase rebuild when warm start is ineligible
-	return s.coldSolve(p), nil
+	res := s.coldSolve(p)
+	s.instr.ColdSolves.Inc()
+	s.instr.Pivots.Add(uint64(res.Iterations))
+	return res, nil
 }
 
 // Stats reports how many solves took the warm path and how many the cold

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, cumulative histogram
+// buckets with le labels, _sum and _count series. Output is sorted by
+// metric name, so identical registry states render byte-identically (the
+// golden test pins this).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, c := range s.Counters {
+		writeHeader(&b, c.Name, c.Help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(&b, g.Name, g.Help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		writeHeader(&b, h.Name, h.Help, "histogram")
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, formatFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// escapeHelp applies the exposition-format escaping for HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it on /metrics:
+//
+//	mux.Handle("/metrics", registry.Handler())
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are client disconnects; nothing to do.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ServeMux returns an http.ServeMux exposing the registry on the two
+// conventional endpoints: /metrics (Prometheus text format) and
+// /debug/vars (expvar-style JSON snapshot) — the mux the cmds mount on
+// their -metrics listener.
+func (r *Registry) ServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = io.WriteString(w, r.Expvar().String())
+	})
+	return mux
+}
+
+// Expvar returns the registry as an expvar.Var whose String is the JSON
+// Snapshot, for embedding in /debug/vars.
+func (r *Registry) Expvar() expvar.Var {
+	return expvarVar{r}
+}
+
+// PublishExpvar publishes the registry under name in the process-global
+// expvar namespace. Publishing the same name twice is a no-op (expvar
+// itself would panic), so wiring code may call it unconditionally.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.Expvar())
+}
+
+type expvarVar struct{ r *Registry }
+
+func (v expvarVar) String() string {
+	data, err := json.Marshal(v.r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition output for a
+// registry covering all three instrument kinds: HELP/TYPE headers,
+// cumulative le buckets, _sum/_count, and name-sorted ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("idc_steps_total", "fast-loop steps executed").Add(140)
+	r.Counter("idc_lp_warm_solves_total", "reference LP warm-start resolves").Add(23)
+	r.Gauge("idc_cost_rate_dollars_per_hour", "instantaneous spend").Set(512.25)
+	h := r.Histogram("idc_fast_loop_seconds", "fast-loop wall time", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	const golden = `# HELP idc_lp_warm_solves_total reference LP warm-start resolves
+# TYPE idc_lp_warm_solves_total counter
+idc_lp_warm_solves_total 23
+# HELP idc_steps_total fast-loop steps executed
+# TYPE idc_steps_total counter
+idc_steps_total 140
+# HELP idc_cost_rate_dollars_per_hour instantaneous spend
+# TYPE idc_cost_rate_dollars_per_hour gauge
+idc_cost_rate_dollars_per_hour 512.25
+# HELP idc_fast_loop_seconds fast-loop wall time
+# TYPE idc_fast_loop_seconds histogram
+idc_fast_loop_seconds_bucket{le="0.001"} 1
+idc_fast_loop_seconds_bucket{le="0.01"} 2
+idc_fast_loop_seconds_bucket{le="0.1"} 3
+idc_fast_loop_seconds_bucket{le="+Inf"} 4
+idc_fast_loop_seconds_sum 7.0525
+idc_fast_loop_seconds_count 4
+`
+	if got := b.String(); got != golden {
+		t.Errorf("WritePrometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0.25, "0.25"},
+		{1e-6, "1e-06"},
+		{inf(), "+Inf"},
+		{-inf(), "-Inf"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+func TestHandlerServesText(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("ok_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ok_total 1") {
+		t.Errorf("body missing counter line:\n%s", rec.Body.String())
+	}
+}
+
+func TestExpvarSnapshotJSON(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("c_total", "help text").Add(3)
+	var s Snapshot
+	if err := json.Unmarshal([]byte(r.Expvar().String()), &s); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v", err)
+	}
+	if v, ok := s.Counter("c_total"); !ok || v != 3 {
+		t.Errorf("round-tripped counter = %d, %v", v, ok)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.PublishExpvar("obs_test_registry")
+	// A second publish under the same name must not panic.
+	r.PublishExpvar("obs_test_registry")
+}

@@ -1,0 +1,196 @@
+// Package obs is the runtime observability layer: zero-allocation
+// instruments (counters, gauges, fixed-bucket histograms) backed by
+// sync/atomic, a named-instrument Registry, and stdlib-only exporters
+// (Prometheus text format, expvar, JSON snapshots).
+//
+// The instruments exist to be called from the controller's steady-state hot
+// paths — MPC.Step, the warm LP resolve, the QP active-set loop — without
+// violating the zero-allocation contract those paths pin with
+// testing.AllocsPerRun (DESIGN.md §3.5) and idclint's hotalloc analyzer
+// checks statically (§3.6). Three properties make that safe:
+//
+//   - Observation methods never allocate. A Counter/Gauge update is one
+//     atomic op; a Histogram observation is a bucket scan plus two atomic
+//     ops. None of them touch maps, interfaces or the allocator.
+//   - Observation methods are nil-safe: calling Inc/Add/Set/Observe on a
+//     nil instrument is a no-op. Instrumented code therefore needs no
+//     "is observability on?" branches — an unwired instrument costs one
+//     predictable nil check.
+//   - Registration (Registry.Counter etc.) is the only allocating step and
+//     happens once, at construction time, off the hot path.
+//
+// All instruments are safe for concurrent use. Reads (Value, Snapshot,
+// exporters) are lock-free on the instrument side and may run while writers
+// are active; a Snapshot is per-instrument atomic, not globally atomic.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 instrument. The zero value
+// is ready for use; a nil *Counter is a valid no-op instrument.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//lint:hotsafe single atomic add, no allocation
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+//
+//lint:hotsafe single atomic add, no allocation
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+//
+//lint:hotsafe single atomic load, no allocation
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 instrument that can go up and down (stored as IEEE-754
+// bits in an atomic word). The zero value reads 0; a nil *Gauge is a valid
+// no-op instrument.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+//
+//lint:hotsafe single atomic store, no allocation
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta via a compare-and-swap loop.
+//
+//lint:hotsafe bounded CAS loop over one word, no allocation
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	addFloatBits(&g.bits, delta)
+}
+
+// Value returns the current value.
+//
+//lint:hotsafe single atomic load, no allocation
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution instrument in the Prometheus
+// style: observation counts per upper bound plus a running sum. The bucket
+// bounds are fixed at construction (NewHistogram), which is what keeps
+// Observe allocation-free. A nil *Histogram is a valid no-op instrument.
+type Histogram struct {
+	// bounds are the ascending inclusive upper bounds; an implicit +Inf
+	// bucket (counts[len(bounds)]) catches the rest.
+	bounds []float64
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// Most callers go through Registry.Histogram instead. Bounds are copied;
+// non-ascending bounds panic (instrument wiring is programmer error, caught
+// at construction, never on the hot path).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records v.
+//
+//lint:hotsafe fixed-bucket scan plus two atomic ops, no allocation
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloatBits(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+//
+//lint:hotsafe atomic loads over fixed buckets, no allocation
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+//
+//lint:hotsafe single atomic load, no allocation
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// addFloatBits atomically adds delta to the float64 stored as bits.
+func addFloatBits(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets is the default bound set for wall-time histograms, in
+// seconds. It spans 1 µs – 1 s: the fast loop solves in tens of
+// microseconds, a cold slow tick in single-digit milliseconds, so both
+// land mid-range with headroom for outliers.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1, 1,
+	}
+}

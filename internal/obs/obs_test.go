@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/testenv"
+)
+
+func TestCounter(t *testing.T) {
+	t.Parallel()
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	t.Parallel()
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Errorf("Value = %g, want 1.25", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Errorf("Value after Set = %g, want -7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// Bounds are inclusive: 1 lands in the le=1 bucket.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("Sum = %g, want 106", got)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestNilInstrumentsAreNoOps pins the nil-safety contract instrumented
+// code relies on: unwired instruments cost a nil check and nothing else.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	t.Parallel()
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported nonzero values")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Error("nil registry handed out non-nil instruments")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	a := r.Counter("requests_total", "requests")
+	b := r.Counter("requests_total", "ignored on re-register")
+	if a != b {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	h1 := r.Histogram("lat", "", []float64{1, 2})
+	h2 := r.Histogram("lat", "", []float64{9})
+	if h1 != h2 {
+		t.Error("re-registering a histogram returned a different instrument")
+	}
+	if len(h2.bounds) != 2 {
+		t.Error("re-registration replaced the original bounds")
+	}
+}
+
+func TestRegistryPanicsOnBadWiring(t *testing.T) {
+	t.Parallel()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	mustPanic("invalid name", func() { r.Counter("0bad", "") })
+	mustPanic("invalid rune", func() { r.Counter("bad-name", "") })
+	r.Counter("dual", "")
+	mustPanic("kind collision", func() { r.Gauge("dual", "") })
+}
+
+func TestSnapshotLookup(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("c", "").Add(7)
+	r.Gauge("g", "").Set(1.5)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if v, ok := s.Counter("c"); !ok || v != 7 {
+		t.Errorf("Counter(c) = %d, %v", v, ok)
+	}
+	if v, ok := s.Gauge("g"); !ok || v != 1.5 {
+		t.Errorf("Gauge(g) = %g, %v", v, ok)
+	}
+	if h, ok := s.Histogram("h"); !ok || h.Count != 1 || h.Sum != 0.5 {
+		t.Errorf("Histogram(h) = %+v, %v", h, ok)
+	}
+	if _, ok := s.Counter("missing"); ok {
+		t.Error("Counter(missing) found")
+	}
+}
+
+// TestRegistryConcurrent hammers registration, observation and collection
+// from many goroutines; `go test -race` turns it into the data-race gate
+// for the whole layer.
+func TestRegistryConcurrent(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "")
+			gauge := r.Gauge("hammer_gauge", "")
+			h := r.Histogram("hammer_seconds", "", LatencyBuckets())
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				gauge.Add(1)
+				h.Observe(float64(i%7) * 1e-5)
+				if i%64 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if v, _ := s.Counter("hammer_total"); v != goroutines*iters {
+		t.Errorf("hammer_total = %d, want %d", v, goroutines*iters)
+	}
+	if v, _ := s.Gauge("hammer_gauge"); v != goroutines*iters {
+		t.Errorf("hammer_gauge = %g, want %d", v, goroutines*iters)
+	}
+	if h, _ := s.Histogram("hammer_seconds"); h.Count != goroutines*iters {
+		t.Errorf("hammer_seconds count = %d, want %d", h.Count, goroutines*iters)
+	}
+}
+
+// TestObserveAllocFree pins the hot-path contract: observing any
+// instrument performs zero heap allocations.
+func TestObserveAllocFree(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", LatencyBuckets())
+	var nilC *Counter
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.5)
+		g.Add(0.5)
+		h.Observe(3.7e-5)
+		nilC.Inc()
+	})
+	if allocs != 0 {
+		t.Errorf("instrument observation allocated %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestLatencyBucketsAscending(t *testing.T) {
+	t.Parallel()
+	b := LatencyBuckets()
+	for i := 1; i < len(b); i++ {
+		if !(b[i] > b[i-1]) {
+			t.Fatalf("LatencyBuckets not ascending at %d: %g vs %g", i, b[i-1], b[i])
+		}
+	}
+	if math.IsInf(b[len(b)-1], 1) {
+		t.Error("LatencyBuckets must not include +Inf; the catch-all bucket is implicit")
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a named-instrument directory: the unit of export. Instruments
+// are registered once (get-or-create, so several controllers can share one
+// registry and aggregate into the same instruments) and observed lock-free
+// thereafter.
+//
+// Names must match the Prometheus metric grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*; registering an invalid name, or re-registering
+// a name as a different instrument kind, panics — wiring mistakes surface
+// at construction, never on the hot path. A nil *Registry is valid and
+// hands out nil (no-op) instruments.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+var (
+	defaultOnce     sync.Once
+	defaultRegistry *Registry
+)
+
+// Default returns the process-wide registry. Controllers instrument into it
+// unless given a dedicated registry (core.WithMetrics), so a long-running
+// binary can expose every controller in the process from one endpoint —
+// the same aggregation model as Prometheus' default registerer.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. help is recorded on creation and kept verbatim for exporters.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, help, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, help, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket bounds on first use. A later call with the
+// same name returns the existing histogram; its original bounds win.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.register(name, help, "histogram")
+	h := NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// register validates the name, checks cross-kind collisions and records
+// help. Callers hold r.mu.
+func (r *Registry) register(name, help, kind string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if _, ok := r.help[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind than %s", name, kind))
+	}
+	r.help[name] = help
+}
+
+// validName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a Snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a Snapshot. Counts are per bucket
+// (non-cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistogramValue struct {
+	Name   string    `json:"name"`
+	Help   string    `json:"help,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a Registry,
+// sorted by name — the stable exchange format behind the exporters and the
+// programmatic read API. Each instrument is read atomically; the snapshot
+// as a whole is not a cross-instrument transaction.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Counter returns the snapshotted value of the named counter.
+func (s Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the snapshotted value of the named gauge.
+func (s Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the snapshotted state of the named histogram.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// Snapshot captures every registered instrument. Safe to call while
+// writers are active.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Help: r.help[name], Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Help: r.help[name], Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		hv := HistogramValue{
+			Name:   name,
+			Help:   r.help[name],
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+			hv.Count += hv.Counts[i]
+		}
+		hv.Sum = h.Sum()
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // Solver failure modes.
@@ -133,7 +134,26 @@ type Workspace struct {
 	sChol       mat.Cholesky
 	prob        Problem // backing store for SolveLSWith's lowered problem
 	res         Result
+
+	instr Instruments
 }
+
+// Instruments are the QP solver's optional observability hooks, attached
+// to the Workspace that carries the cross-solve caches (internal/obs).
+// All fields are nil-safe no-ops when unset.
+type Instruments struct {
+	// Iterations accumulates active-set iterations across solves.
+	Iterations *obs.Counter
+	// Factorizations counts Cholesky factorizations of H — one per
+	// workspace lifetime on the steady state.
+	Factorizations *obs.Counter
+	// FactorReuse counts solves that reused the workspace's cached factor.
+	FactorReuse *obs.Counter
+}
+
+// SetInstruments installs observability hooks on the workspace; call
+// before solving. The zero Instruments value detaches them again.
+func (ws *Workspace) SetInstruments(in Instruments) { ws.instr = in }
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
@@ -257,16 +277,22 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	// Schur-driven loop stalls (severe conditioning can pass the cheap
 	// estimate yet still produce meaningless directions).
 	if !ws.hReady {
+		ws.instr.Factorizations.Inc()
 		//lint:ignore hotalloc factored once per workspace, reused by every later solve
 		hChol, _ := mat.FactorCholesky(p.H)
 		if hChol != nil && hChol.CondEstimate() > 1e12 {
 			hChol = nil
 		}
 		ws.hChol, ws.hReady = hChol, true
+	} else {
+		ws.instr.FactorReuse.Inc()
 	}
 	res, err := activeSetLoop(p, ws.hChol, x, n, mEq, mIn, ws)
 	if errors.Is(err, ErrIterationLimit) && ws.hChol != nil {
 		res, err = activeSetLoop(p, nil, x, n, mEq, mIn, ws)
+	}
+	if res != nil {
+		ws.instr.Iterations.Add(uint64(res.Iterations))
 	}
 	return res, err
 }

@@ -5,14 +5,17 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/forecast"
 	"repro/internal/idc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/price"
 	"repro/internal/sleep"
@@ -54,6 +57,15 @@ type Scenario struct {
 	// SkipBaseline disables the optimal-method run (saves time when only
 	// the control series is needed).
 	SkipBaseline bool
+	// Observer, when non-nil, receives the controller's per-step telemetry
+	// (passed through as core.WithObserver).
+	Observer core.Observer
+	// Metrics, when non-nil, isolates the controller's instruments in this
+	// registry instead of the process-wide obs.Default().
+	Metrics *obs.Registry
+	// TraceWriter, when non-nil, receives a JSONL telemetry trace
+	// (passed through as core.WithTrace). The caller owns buffering.
+	TraceWriter io.Writer
 }
 
 // Series holds per-step records for one method.
@@ -133,6 +145,14 @@ type Result struct {
 
 // Run executes the scenario.
 func Run(sc Scenario) (*Result, error) {
+	return RunContext(context.Background(), sc)
+}
+
+// RunContext executes the scenario, stopping early when ctx is canceled.
+// On cancellation it returns the partial Result recorded so far alongside
+// ctx's error, so callers can flush what they have — the only case where
+// both return values are non-nil.
+func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	if sc.Topology == nil {
 		return nil, fmt.Errorf("nil topology: %w", ErrBadScenario)
 	}
@@ -159,6 +179,16 @@ func Run(sc Scenario) (*Result, error) {
 		demandAt = func(int) []float64 { return table }
 	}
 
+	var opts []core.Option
+	if sc.Observer != nil {
+		opts = append(opts, core.WithObserver(sc.Observer))
+	}
+	if sc.Metrics != nil {
+		opts = append(opts, core.WithMetrics(sc.Metrics))
+	}
+	if sc.TraceWriter != nil {
+		opts = append(opts, core.WithTrace(sc.TraceWriter))
+	}
 	controller, err := core.New(core.Config{
 		Topology:    sc.Topology,
 		Prices:      sc.Prices,
@@ -170,7 +200,7 @@ func Run(sc Scenario) (*Result, error) {
 		UseForecast: sc.UseForecast,
 		Forecast:    sc.Forecast,
 		StartHour:   sc.StartHour,
-	})
+	}, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("sim: controller: %w", err)
 	}
@@ -236,6 +266,12 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	for k := 0; k < sc.Steps; k++ {
+		if err := ctx.Err(); err != nil {
+			if berr := finishBaseline(); berr != nil {
+				return nil, berr
+			}
+			return res, err
+		}
 		demands := demandAt(k)
 		tel, err := controller.Step(demands)
 		if err != nil {

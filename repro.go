@@ -14,6 +14,8 @@
 //   - Scenario / RunScenario — closed-loop simulation against the per-step
 //     optimal baseline.
 //   - Experiments — regenerate every table and figure of the paper.
+//   - Observer / WithObserver / Metrics — zero-allocation observability
+//     hooks into a running controller (internal/obs).
 //
 // Quickstart:
 //
@@ -25,16 +27,34 @@
 //	...
 //	tel, err := controller.Step(demands) // one 30 s control period
 //
+// Config describes the controlled system — the knobs the paper
+// parameterizes. Cross-cutting runtime concerns (metrics registries,
+// telemetry observers, JSONL traces, test clocks) attach as variadic
+// Options instead:
+//
+//	reg := repro.NewMetrics()
+//	controller, err := repro.New(cfg,
+//		repro.WithMetrics(reg),
+//		repro.WithObserver(repro.ObserverFunc(func(t *repro.Telemetry) { ... })),
+//	)
+//	http.Handle("/metrics", repro.MetricsHandler(reg))
+//
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package repro
 
 import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/experiments"
 	"repro/internal/forecast"
 	"repro/internal/idc"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/sim"
 	"repro/internal/sleep"
@@ -96,8 +116,62 @@ const (
 	Wisconsin = price.Wisconsin
 )
 
-// New builds a Controller; see core.New.
-func New(cfg Config) (*Controller, error) { return core.New(cfg) }
+// New builds a Controller; see core.New. Options are optional — New(cfg)
+// alone is the original API and behaves identically.
+func New(cfg Config, opts ...Option) (*Controller, error) { return core.New(cfg, opts...) }
+
+// Option attaches a cross-cutting runtime concern (observability, trace
+// output, test clock) to New. Config describes the controlled system;
+// Options describe how to watch it.
+type Option = core.Option
+
+// Observer receives the controller's per-step telemetry; see core.Observer
+// for the calling contract.
+type Observer = core.Observer
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc = core.ObserverFunc
+
+// Metrics is a registry of zero-allocation runtime instruments (counters,
+// gauges, latency histograms); see internal/obs.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every instrument in a Metrics
+// registry, sorted by name.
+type MetricsSnapshot = obs.Snapshot
+
+// WithObserver registers an Observer for per-step telemetry; it may be
+// given multiple times.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
+
+// WithTrace streams one JSON Telemetry object per step to w (a JSONL
+// trace). The caller owns buffering and flushing.
+func WithTrace(w io.Writer) Option { return core.WithTrace(w) }
+
+// WithMetrics directs the controller's instruments into reg instead of the
+// shared DefaultMetrics() registry.
+func WithMetrics(reg *Metrics) Option { return core.WithMetrics(reg) }
+
+// WithClock substitutes the wall clock behind the latency instruments
+// (deterministic tests); control behavior is unaffected.
+func WithClock(now func() time.Time) Option { return core.WithClock(now) }
+
+// NewMetrics returns an empty, independent instrument registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry that controllers
+// instrument into when WithMetrics is not given — every controller in the
+// process aggregates here.
+func DefaultMetrics() *Metrics { return obs.Default() }
+
+// MetricsHandler serves reg in Prometheus text exposition format. A nil
+// reg serves the default registry.
+func MetricsHandler(reg *Metrics) http.Handler {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return reg.Handler()
+}
 
 // NewTopology validates and builds a custom topology.
 func NewTopology(portals int, idcs []IDC) (*Topology, error) {
@@ -126,6 +200,12 @@ type BidStackConfig = price.BidStackConfig
 
 // RunScenario executes a closed-loop simulation; see sim.Run.
 func RunScenario(sc Scenario) (*ScenarioResult, error) { return sim.Run(sc) }
+
+// RunScenarioContext is RunScenario with cancellation; on a canceled ctx
+// it returns the partial result recorded so far together with ctx's error.
+func RunScenarioContext(ctx context.Context, sc Scenario) (*ScenarioResult, error) {
+	return sim.RunContext(ctx, sc)
+}
 
 // OptimalAllocation solves the Rao-style per-step LP (eq. 46).
 func OptimalAllocation(top *Topology, prices, demands []float64) (*AllocResult, error) {
