@@ -11,6 +11,13 @@
 // the figure checksums — land in the metrics map verbatim. benchjson exits
 // nonzero when the stream contains a test failure, so `make bench` fails
 // loudly instead of writing a partial file.
+//
+// Two regression gates compare the parsed run against a previous summary:
+// -check-series fails on any bit drift of the deterministic series-sum /
+// MW-sum checksums (machine-independent; wired into CI), and -check-perf
+// fails when a pinned hot benchmark (MPCStep, the warm reference LP)
+// regresses more than 10% in ns/op (same-machine comparisons only; wired
+// into `make bench`).
 package main
 
 import (
@@ -51,6 +58,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("out", "", "write the JSON summary to this file (required)")
 	checkPath := fs.String("check-series", "", "compare series-sum/MW-sum checksums against this reference summary and fail on any drift")
+	perfPath := fs.String("check-perf", "", "compare the pinned hot benchmarks' ns/op against this reference summary and fail on a >10% regression")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,7 +109,70 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
 	if *checkPath != "" {
-		return checkSeries(&sum, *checkPath)
+		if err := checkSeries(&sum, *checkPath); err != nil {
+			return err
+		}
+	}
+	if *perfPath != "" {
+		return checkPerf(&sum, *perfPath)
+	}
+	return nil
+}
+
+// perfPinned names the hot benchmarks whose ns/op is pinned against the
+// previous snapshot: the fast-loop MPC solve and the warm reference LP —
+// the two per-step paths with a real-time budget. Everything else is
+// tracked but not gated (cold paths and figure regenerations are allowed
+// to grow as the codebase does).
+var perfPinned = []string{"MPCStep", "ReferenceLP/Warm"}
+
+// perfTolerance is the allowed fractional ns/op growth before checkPerf
+// fails. Perf comparisons only make sense between runs on the same
+// machine, so this gate belongs in `make bench`, not cross-machine CI.
+const perfTolerance = 0.10
+
+// checkPerf compares the pinned benchmarks' ns/op against the reference
+// summary at path and fails when any regressed beyond perfTolerance.
+// A pinned benchmark missing from the current run is an error (the gate
+// must not pass vacuously); one missing from the reference is skipped
+// (first snapshot that includes it).
+func checkPerf(sum *Summary, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("check-perf: %w", err)
+	}
+	var ref Summary
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("check-perf %s: %w", path, err)
+	}
+	nsPerOp := func(s *Summary, name string) (float64, bool) {
+		for _, b := range s.Benchmarks {
+			if b.Name == name {
+				v, ok := b.Metrics["ns/op"]
+				return v, ok
+			}
+		}
+		return 0, false
+	}
+	var regressions []string
+	for _, name := range perfPinned {
+		got, ok := nsPerOp(sum, name)
+		if !ok {
+			return fmt.Errorf("check-perf: pinned benchmark %s missing from the current run", name)
+		}
+		want, ok := nsPerOp(&ref, name)
+		if !ok {
+			continue
+		}
+		if got > want*(1+perfTolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs reference %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, got, want, 100*(got/want-1), 100*perfTolerance))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("check-perf: hot-path regression vs %s:\n  %s",
+			path, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

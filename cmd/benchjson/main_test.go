@@ -155,3 +155,81 @@ func TestCheckSeriesMissingRefFails(t *testing.T) {
 		t.Fatalf("want check-series error, got %v", err)
 	}
 }
+
+// writePerfRef writes a reference summary with the given pinned ns/op
+// values and returns its path.
+func writePerfRef(t *testing.T, mpcNs, warmNs float64) string {
+	t.Helper()
+	ref := Summary{Benchmarks: []Benchmark{
+		{Name: "MPCStep", Iterations: 10000, Metrics: map[string]float64{"ns/op": mpcNs, "allocs/op": 0}},
+		{Name: "ReferenceLP/Warm", Iterations: 300000, Metrics: map[string]float64{"ns/op": warmNs}},
+	}}
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "perfref.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPerfWithinTolerancePasses(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	// Current run (sample): MPCStep 82388, Warm 3007. Reference slightly
+	// slower and slightly faster — both inside the 10% window.
+	ref := writePerfRef(t, 80000, 3200)
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(sample), &stdout); err != nil {
+		t.Fatalf("run within tolerance: %v", err)
+	}
+}
+
+func TestCheckPerfRegressionFails(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := writePerfRef(t, 70000, 3200) // MPCStep 82388 is +17.7% vs 70000
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(sample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("want regression error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "MPCStep") {
+		t.Errorf("regression error does not name the benchmark: %v", err)
+	}
+	if strings.Contains(err.Error(), "ReferenceLP/Warm") {
+		t.Errorf("regression error names a benchmark that did not regress: %v", err)
+	}
+}
+
+func TestCheckPerfMissingPinnedBenchFails(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := writePerfRef(t, 80000, 3200)
+	in := "BenchmarkX-4 10 5 ns/op\nPASS\nok\trepro\t0.1s\n"
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(in), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("want missing-pinned-bench error, got %v", err)
+	}
+}
+
+func TestCheckPerfNewPinInReferenceSkipped(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	// Reference lacks ReferenceLP/Warm entirely: that pin is skipped, the
+	// MPCStep comparison still runs and passes.
+	ref := Summary{Benchmarks: []Benchmark{
+		{Name: "MPCStep", Iterations: 10000, Metrics: map[string]float64{"ns/op": 82000}},
+	}}
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(t.TempDir(), "perfref.json")
+	if err := os.WriteFile(refPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath, "-check-perf", refPath}, strings.NewReader(sample), &stdout); err != nil {
+		t.Fatalf("run with pin absent from reference: %v", err)
+	}
+}

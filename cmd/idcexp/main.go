@@ -125,17 +125,20 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 	return nil
 }
 
-// serveMetrics exposes the process-wide instrument registry over HTTP:
-// /metrics (Prometheus text) and /debug/vars (expvar JSON). Controllers
-// created anywhere in the experiment stack instrument into the same
-// default registry, so the endpoint aggregates the whole run.
+// serveMetrics exposes a fresh instrument registry over HTTP: /metrics
+// (Prometheus text) and /debug/vars (expvar JSON). Controllers default to
+// private registries, so the registry is installed as the experiment
+// stack's shared one via experiments.SetMetrics — the endpoint then
+// aggregates the whole run, by explicit opt-in rather than process-global
+// state.
 func serveMetrics(addr string) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
-	reg := obs.Default()
+	reg := obs.NewRegistry()
 	reg.PublishExpvar("idc")
+	experiments.SetMetrics(reg)
 	srv := &http.Server{Handler: reg.ServeMux()}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	fmt.Fprintf(os.Stderr, "idcexp: serving metrics on http://%s/metrics\n", ln.Addr())

@@ -95,12 +95,14 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	var metricsReg *obs.Registry
 	if *metricsAddr != "" {
-		closeMetrics, merr := serveMetrics(*metricsAddr)
+		reg, closeMetrics, merr := serveMetrics(*metricsAddr)
 		if merr != nil {
 			return merr
 		}
 		defer closeMetrics()
+		metricsReg = reg
 	}
 	var traceW io.Writer
 	if *traceFile != "" {
@@ -131,6 +133,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 			return err
 		}
 		sc.TraceWriter = traceW
+		sc.Metrics = metricsReg
 		return emitMaybePartial(ctx, sc, emit, out)
 	}
 
@@ -186,6 +189,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 		Budgets:      budgets,
 		SkipBaseline: *noBaseline,
 		TraceWriter:  traceW,
+		Metrics:      metricsReg,
 	}
 	if *workloadTrace != "" {
 		f, err := os.Open(*workloadTrace)
@@ -251,19 +255,21 @@ func emitMaybePartial(ctx context.Context, sc sim.Scenario, emit func(io.Writer,
 	return emit(out, res)
 }
 
-// serveMetrics exposes the process-wide instrument registry over HTTP:
-// /metrics (Prometheus text) and /debug/vars (expvar JSON).
-func serveMetrics(addr string) (func(), error) {
+// serveMetrics exposes a fresh instrument registry over HTTP — /metrics
+// (Prometheus text) and /debug/vars (expvar JSON) — and returns it so the
+// scenario's controller can be wired into it (controllers default to
+// private registries; sharing is explicit via Scenario.Metrics).
+func serveMetrics(addr string) (*obs.Registry, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("metrics listener: %w", err)
+		return nil, nil, fmt.Errorf("metrics listener: %w", err)
 	}
-	reg := obs.Default()
+	reg := obs.NewRegistry()
 	reg.PublishExpvar("idc")
 	srv := &http.Server{Handler: reg.ServeMux()}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	fmt.Fprintf(os.Stderr, "idcsim: serving metrics on http://%s/metrics\n", ln.Addr())
-	return func() { srv.Close() }, nil
+	return reg, func() { srv.Close() }, nil
 }
 
 // jsonSeries is the JSON projection of one method's record.

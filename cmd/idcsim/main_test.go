@@ -10,7 +10,10 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/obs"
+	"repro/internal/ctrl"
+	"repro/internal/idc"
+	"repro/internal/price"
+	"repro/internal/sim"
 )
 
 func TestDefaultRunProducesCSV(t *testing.T) {
@@ -184,21 +187,34 @@ func TestTraceFlagWritesJSONL(t *testing.T) {
 }
 
 func TestMetricsEndpointServesPrometheus(t *testing.T) {
-	// A short run first so the default registry has live controller metrics.
-	var buf bytes.Buffer
-	if err := run([]string{"-steps", "2", "-no-baseline"}, &buf); err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	closeMetrics, err := serveMetrics("127.0.0.1:0")
+	reg, closeMetrics, err := serveMetrics("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("serveMetrics: %v", err)
 	}
 	defer closeMetrics()
+	// Instrument a short run into the served registry — the same wiring
+	// run() performs when -metrics is given (controllers default to
+	// private registries, so the endpoint only sees what is passed in).
+	_, err = sim.Run(sim.Scenario{
+		Name:         "metrics-endpoint",
+		Topology:     idc.PaperTopology(),
+		Prices:       price.NewEmbeddedModel(),
+		Steps:        2,
+		Ts:           30,
+		SlowEvery:    4,
+		MPC:          ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+		SkipBaseline: true,
+		Metrics:      reg,
+		SampleEvery:  1,
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
 	// serveMetrics logs the bound address to stderr; re-derive it from a
 	// second listener-free path instead: hit the registry handler directly
 	// through an in-process request.
 	rr := httptest.NewRecorder()
-	obs.Default().ServeMux().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	reg.ServeMux().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
 	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Errorf("content type = %q", ct)
 	}
@@ -214,7 +230,7 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 		}
 	}
 	rr = httptest.NewRecorder()
-	obs.Default().ServeMux().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
+	reg.ServeMux().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
 	var snap struct {
 		Counters []struct {
 			Name  string `json:"name"`

@@ -1,0 +1,90 @@
+// Package alloctest extends point allocation pinning into trend pinning.
+// testing.AllocsPerRun proves a workload is allocation-free at the one
+// problem size a test happens to construct; it says nothing about how the
+// count scales. An AllocTest measures the same workload at several sizes
+// and asserts a Trend over the series — for this repo's hot loops, flat at
+// zero — so a scratch buffer that silently becomes size-dependent fails the
+// harness instead of surviving until someone benchmarks a bigger topology.
+package alloctest
+
+import (
+	"testing"
+
+	"repro/internal/testenv"
+)
+
+// AllocTest measures one workload's allocations across problem sizes.
+type AllocTest struct {
+	// Name labels the subtest.
+	Name string
+	// Ns are the problem sizes to measure, in the unit Setup interprets.
+	Ns []int
+	// Setup builds the workload at size n — construction, warmup, whatever
+	// reaches the steady state — and returns the function to measure.
+	// Setup cost is not measured.
+	Setup func(t *testing.T, n int) func()
+	// Runs is the inner run count handed to testing.AllocsPerRun
+	// (default 20).
+	Runs int
+	// Trend asserts over the per-size measurements.
+	Trend Trend
+}
+
+// Trend asserts a property of the measured series: allocs[i] is the
+// allocations/run observed at size ns[i].
+type Trend func(t *testing.T, ns []int, allocs []float64)
+
+// FlatZero is the trend of the repo's steady-state hot loops: zero
+// allocations at every size — neither a constant term nor growth in n.
+func FlatZero() Trend {
+	return func(t *testing.T, ns []int, allocs []float64) {
+		t.Helper()
+		for i, a := range allocs {
+			//lint:ignore floateq AllocsPerRun returns a whole number of allocations; zero means exactly zero
+			if a != 0 {
+				t.Errorf("n=%d: %v allocs/run, want 0 at every size", ns[i], a)
+			}
+		}
+	}
+}
+
+// Flat asserts the series never grows with size beyond tol allocs/run —
+// for workloads with a known constant allocation cost that must not become
+// size-dependent.
+func Flat(tol float64) Trend {
+	return func(t *testing.T, ns []int, allocs []float64) {
+		t.Helper()
+		for i := 1; i < len(allocs); i++ {
+			if allocs[i]-allocs[0] > tol {
+				t.Errorf("allocs grew with size: n=%d measured %v vs %v at n=%d (tol %v)",
+					ns[i], allocs[i], allocs[0], ns[0], tol)
+			}
+		}
+	}
+}
+
+// Run executes the tests as subtests. Skipped under the race detector,
+// where allocation counts are not meaningful.
+func Run(t *testing.T, tests []AllocTest) {
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			if testenv.RaceEnabled {
+				t.Skip("allocation counts are not meaningful under the race detector")
+			}
+			if len(tc.Ns) == 0 || tc.Setup == nil || tc.Trend == nil {
+				t.Fatal("AllocTest needs Ns, Setup and Trend")
+			}
+			runs := tc.Runs
+			if runs <= 0 {
+				runs = 20
+			}
+			allocs := make([]float64, len(tc.Ns))
+			for i, n := range tc.Ns {
+				fn := tc.Setup(t, n)
+				allocs[i] = testing.AllocsPerRun(runs, fn)
+			}
+			tc.Trend(t, tc.Ns, allocs)
+		})
+	}
+}

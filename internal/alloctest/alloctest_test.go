@@ -1,0 +1,51 @@
+package alloctest
+
+import (
+	"testing"
+
+	"repro/internal/testenv"
+)
+
+func TestFlatZeroPassesOnZeroSeries(t *testing.T) {
+	sink := 0
+	Run(t, []AllocTest{{
+		Name: "no-alloc",
+		Ns:   []int{1, 4, 16},
+		Setup: func(_ *testing.T, n int) func() {
+			return func() { sink += n }
+		},
+		Trend: FlatZero(),
+	}})
+	_ = sink
+}
+
+func TestFlatZeroCatchesSizeDependentAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var failed bool
+	probe := &testing.T{}
+	trend := FlatZero()
+	// Drive the trend directly with a fabricated growing series; going
+	// through Run would fail the real test.
+	func() {
+		defer func() { failed = probe.Failed() }()
+		trend(probe, []int{1, 2}, []float64{0, 2})
+	}()
+	if !failed {
+		t.Error("FlatZero accepted a growing allocation series")
+	}
+}
+
+func TestFlatToleratesConstantButNotGrowth(t *testing.T) {
+	probe := &testing.T{}
+	Flat(0.5)(probe, []int{1, 2, 4}, []float64{3, 3, 3})
+	if probe.Failed() {
+		t.Error("Flat rejected a constant series")
+	}
+	probe = &testing.T{}
+	Flat(0.5)(probe, []int{1, 2, 4}, []float64{3, 3, 5})
+	if !probe.Failed() {
+		t.Error("Flat accepted a growing series")
+	}
+}

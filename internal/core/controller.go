@@ -152,14 +152,18 @@ type Controller struct {
 
 // New validates the configuration and builds a controller. Options attach
 // observability and test hooks; New(cfg) with no options is the original
-// call and behaves identically (its instruments land in obs.Default(),
-// which costs one atomic op per event and is otherwise inert).
+// call and behaves identically (its instruments land in a private registry
+// readable via Metrics — controllers never share instruments unless
+// WithMetrics wires them to the same registry explicitly).
 func New(cfg Config, opts ...Option) (*Controller, error) {
 	op := defaultOptions()
 	for _, o := range opts {
 		if o != nil {
 			o(&op)
 		}
+	}
+	if op.metrics == nil {
+		op.metrics = obs.NewRegistry()
 	}
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("nil topology: %w", ErrBadConfig)
@@ -232,7 +236,7 @@ func New(cfg Config, opts ...Option) (*Controller, error) {
 		budgets:   budgets,
 		refSolver: alloc.NewSolver(),
 		state:     make([]float64, n+1),
-		instr:     newInstruments(op.metrics),
+		instr:     newInstruments(op.metrics, op.sampleEvery),
 		metrics:   op.metrics,
 		observers: op.observers,
 		now:       op.now,
@@ -246,7 +250,7 @@ func New(cfg Config, opts ...Option) (*Controller, error) {
 }
 
 // Metrics returns the registry this controller's instruments live in —
-// obs.Default() unless WithMetrics overrode it.
+// a registry private to this controller unless WithMetrics overrode it.
 func (c *Controller) Metrics() *obs.Registry { return c.metrics }
 
 // Budgets returns a copy of the active per-IDC budgets (0 = none).
@@ -306,7 +310,14 @@ func hourOf(step int, ts float64) int {
 // Step advances one fast-loop period with the observed portal demands and
 // returns the telemetry record.
 func (c *Controller) Step(demands []float64) (*Telemetry, error) {
-	start := c.now()
+	// The time.Now pair is the dominant per-step instrumentation cost, so
+	// it only runs on the steps the fast-loop sampler selects (§3.9); a
+	// decimated-out or unwired step pays one atomic add / nil check.
+	sampled := c.instr.fastLoop.Tick()
+	var start time.Time
+	if sampled {
+		start = c.now()
+	}
 	top := c.cfg.Topology
 	if len(demands) != top.C() {
 		return nil, fmt.Errorf("%d demands for %d portals: %w", len(demands), top.C(), ErrBadConfig)
@@ -412,7 +423,9 @@ func (c *Controller) Step(demands []float64) (*Telemetry, error) {
 	}
 	c.instr.costRate.Set(costRate)
 	c.instr.cumCost.Set(c.cumCost)
-	c.instr.fastLoop.Observe(c.now().Sub(start).Seconds())
+	if sampled {
+		c.instr.fastLoop.Observe(c.now().Sub(start).Seconds())
+	}
 	if c.trace != nil {
 		if err := c.trace.Encode(tel); err != nil {
 			return nil, fmt.Errorf("core: trace: %w", err)

@@ -36,14 +36,25 @@ func (f ObserverFunc) ObserveStep(tel *Telemetry) { f(tel) }
 type Option func(*options)
 
 type options struct {
-	metrics   *obs.Registry
-	observers []Observer
-	trace     io.Writer
-	now       func() time.Time
+	metrics     *obs.Registry
+	sampleEvery int
+	observers   []Observer
+	trace       io.Writer
+	now         func() time.Time
 }
 
+// DefaultSampleEvery is the default 1-in-N decimation of the fast-loop
+// wall-time histogram (idc_fast_loop_seconds). The fast loop solves in tens
+// of microseconds, so an always-on time.Now pair is a measurable tax on the
+// very latency being measured; 1-in-16 keeps the histogram statistically
+// useful while amortizing the clock reads to noise. WithSampleEvery(1)
+// restores exact per-step timing.
+const DefaultSampleEvery = 16
+
+// defaultOptions leaves metrics nil; New replaces a nil registry with a
+// fresh isolated one, so controllers never share instruments implicitly.
 func defaultOptions() options {
-	return options{metrics: obs.Default(), now: time.Now}
+	return options{sampleEvery: DefaultSampleEvery, now: time.Now}
 }
 
 // WithObserver registers an Observer for per-step telemetry. May be given
@@ -65,12 +76,25 @@ func WithTrace(w io.Writer) Option {
 }
 
 // WithMetrics directs the controller's instruments into reg instead of the
-// process-wide obs.Default() registry — for isolating one controller's
-// numbers or avoiding process-global state in tests.
+// controller's own private registry — the explicit way to aggregate several
+// controllers into one endpoint, or to read a controller's numbers from
+// outside (Controller.Metrics returns the active registry either way).
 func WithMetrics(reg *obs.Registry) Option {
 	return func(op *options) {
 		if reg != nil {
 			op.metrics = reg
+		}
+	}
+}
+
+// WithSampleEvery sets the 1-in-n decimation of the fast-loop wall-time
+// histogram (default DefaultSampleEvery). n = 1 times every step exactly;
+// n < 1 is ignored. Counters, gauges and the slow-tick histogram are never
+// decimated — only the per-step clock reads are sampled.
+func WithSampleEvery(n int) Option {
+	return func(op *options) {
+		if n >= 1 {
+			op.sampleEvery = n
 		}
 	}
 }
@@ -92,7 +116,7 @@ func WithClock(now func() time.Time) Option {
 type instruments struct {
 	steps      *obs.Counter
 	slowTicks  *obs.Counter
-	fastLoop   *obs.Histogram
+	fastLoop   *obs.SampledHistogram
 	slowTick   *obs.Histogram
 	refClamp   *obs.Counter
 	fcFallback *obs.Counter
@@ -103,13 +127,17 @@ type instruments struct {
 }
 
 // newInstruments registers (or re-attaches to) the controller instrument
-// set in reg. Names are shared across controllers on the same registry, so
-// several controllers aggregate — the Prometheus default-registerer model.
-func newInstruments(reg *obs.Registry) instruments {
+// set in reg. Controllers sharing a registry (explicit WithMetrics) share
+// instruments by name and aggregate — the Prometheus default-registerer
+// model; by default each controller gets its own registry. The fast-loop
+// wall-time histogram is wrapped in a 1-in-sampleEvery decimator (§3.9).
+func newInstruments(reg *obs.Registry, sampleEvery int) instruments {
 	return instruments{
 		steps:      reg.Counter("idc_steps_total", "fast-loop control steps executed"),
 		slowTicks:  reg.Counter("idc_slow_ticks_total", "slow-loop ticks (price/model/reference refreshes)"),
-		fastLoop:   reg.Histogram("idc_fast_loop_seconds", "wall time of one fast-loop Step", obs.LatencyBuckets()),
+		fastLoop: obs.Sampled(
+			reg.Histogram("idc_fast_loop_seconds", "wall time of one fast-loop Step (sampled)", obs.LatencyBuckets()),
+			sampleEvery),
 		slowTick:   reg.Histogram("idc_slow_tick_seconds", "wall time of one slow tick", obs.LatencyBuckets()),
 		refClamp:   reg.Counter("idc_ref_clamp_total", "per-IDC soft clamps of the power reference to its budget (§IV.D)"),
 		fcFallback: reg.Counter("idc_forecast_fallback_total", "slow ticks that fell back from predicted to observed demand"),

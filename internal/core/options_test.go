@@ -106,7 +106,9 @@ func TestWithMetricsPopulatesRegistry(t *testing.T) {
 	// §V.C budgets bind after the hour-7 price flip, so the clamp and the
 	// violation counters both have something to do.
 	cfg.Budgets = []float64{5.13e6, 10.26e6, 4.275e6}
-	c, err := New(cfg, WithMetrics(reg))
+	// WithSampleEvery(1) disables the fast-loop decimation so the
+	// histogram count is exactly the step count.
+	c, err := New(cfg, WithMetrics(reg), WithSampleEvery(1))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -173,7 +175,7 @@ func TestWithClockMakesLatencyDeterministic(t *testing.T) {
 	reg := obs.NewRegistry()
 	cfg := baseConfig()
 	cfg.SlowEvery = 1000 // single slow tick at step 0
-	c, err := New(cfg, WithMetrics(reg), WithClock(clk.now))
+	c, err := New(cfg, WithMetrics(reg), WithClock(clk.now), WithSampleEvery(1))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -188,6 +190,106 @@ func TestWithClockMakesLatencyDeterministic(t *testing.T) {
 	slow, _ := s.Histogram("idc_slow_tick_seconds")
 	if math.Abs(slow.Sum-0.001) > 1e-12 {
 		t.Errorf("slow-tick latency sum = %g s, want 0.001", slow.Sum)
+	}
+}
+
+// TestDefaultRegistriesIsolated pins the satellite-1 fix: two controllers
+// built without WithMetrics must not share instruments (the old default was
+// the process-wide obs.Default(), which silently double-counted), and
+// neither may leak counts into obs.Default().
+func TestDefaultRegistriesIsolated(t *testing.T) {
+	before, _ := obs.Default().Snapshot().Counter("idc_steps_total")
+	a, err := New(baseConfig())
+	if err != nil {
+		t.Fatalf("New a: %v", err)
+	}
+	b, err := New(baseConfig())
+	if err != nil {
+		t.Fatalf("New b: %v", err)
+	}
+	if a.Metrics() == nil || b.Metrics() == nil {
+		t.Fatal("default Metrics() is nil")
+	}
+	if a.Metrics() == b.Metrics() {
+		t.Fatal("two default controllers share a registry")
+	}
+	if a.Metrics() == obs.Default() || b.Metrics() == obs.Default() {
+		t.Fatal("default controller instruments into the process-wide registry")
+	}
+	stepN(t, a, 3)
+	stepN(t, b, 5)
+	if v, _ := a.Metrics().Snapshot().Counter("idc_steps_total"); v != 3 {
+		t.Errorf("controller a counted %d steps, want 3 (cross-talk?)", v)
+	}
+	if v, _ := b.Metrics().Snapshot().Counter("idc_steps_total"); v != 5 {
+		t.Errorf("controller b counted %d steps, want 5 (cross-talk?)", v)
+	}
+	if after, _ := obs.Default().Snapshot().Counter("idc_steps_total"); after != before {
+		t.Errorf("obs.Default() idc_steps_total moved %d → %d during default-controller steps", before, after)
+	}
+
+	// Explicit sharing still aggregates.
+	shared := obs.NewRegistry()
+	c1, err := New(baseConfig(), WithMetrics(shared))
+	if err != nil {
+		t.Fatalf("New c1: %v", err)
+	}
+	c2, err := New(baseConfig(), WithMetrics(shared))
+	if err != nil {
+		t.Fatalf("New c2: %v", err)
+	}
+	stepN(t, c1, 2)
+	stepN(t, c2, 2)
+	if v, _ := shared.Snapshot().Counter("idc_steps_total"); v != 4 {
+		t.Errorf("shared registry counted %d steps, want 4", v)
+	}
+}
+
+// countingClock counts calls, proving the sampler gates the clock reads.
+type countingClock struct {
+	fakeClock
+	calls int
+}
+
+func (c *countingClock) now() time.Time {
+	c.calls++
+	return c.fakeClock.now()
+}
+
+// TestSampleEveryDecimatesFastLoop pins the sampling contract end to end:
+// at 1-in-4 only every fourth step reads the clock, yet the histogram's
+// weighted count still reports the full step total.
+func TestSampleEveryDecimatesFastLoop(t *testing.T) {
+	clk := &countingClock{fakeClock: fakeClock{t: time.Unix(0, 0), tick: time.Millisecond}}
+	reg := obs.NewRegistry()
+	cfg := baseConfig()
+	cfg.SlowEvery = 1000 // single slow tick at step 0
+	c, err := New(cfg, WithMetrics(reg), WithClock(clk.now), WithSampleEvery(4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const steps = 16
+	stepN(t, c, steps)
+	s := reg.Snapshot()
+	fast, _ := s.Histogram("idc_fast_loop_seconds")
+	if fast.Count != steps {
+		t.Errorf("weighted fast-loop count = %d, want %d", fast.Count, steps)
+	}
+	// Sampled steps 0, 4, 8, 12 read the clock twice each; step 0 adds the
+	// slow tick's own exact pair. Decimated steps read it zero times.
+	const wantCalls = 4*2 + 2
+	if clk.calls != wantCalls {
+		t.Errorf("clock calls = %d, want %d (decimated steps must not read the clock)", clk.calls, wantCalls)
+	}
+	// Sampled durations: step 0 spans the slow tick (3 ticks), the other
+	// three sampled steps span 1 tick; each carries weight 4.
+	want := 4 * (0.003 + 3*0.001)
+	if math.Abs(fast.Sum-want) > 1e-12 {
+		t.Errorf("fast-loop latency sum = %g s, want %g", fast.Sum, want)
+	}
+	slow, _ := s.Histogram("idc_slow_tick_seconds")
+	if slow.Count != 1 || math.Abs(slow.Sum-0.001) > 1e-12 {
+		t.Errorf("slow-tick count/sum = %d/%g, want 1/0.001 (never decimated)", slow.Count, slow.Sum)
 	}
 }
 

@@ -1,0 +1,87 @@
+package ctrl
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloctest"
+	"repro/internal/idc"
+)
+
+// TestMPCStepAllocTrend pins allocation *scaling*, not just the point
+// value: steady-state MPC.Step must stay allocation-free at every topology
+// size (the setup mirrors BenchmarkMPCStepScaling), so a scratch buffer
+// that silently becomes size-dependent fails here rather than surviving
+// until a bigger deployment benchmarks it.
+func TestMPCStepAllocTrend(t *testing.T) {
+	sizes := []struct{ c, n int }{{5, 3}, {8, 6}, {10, 8}}
+	ns := make([]int, len(sizes))
+	for i, s := range sizes {
+		ns[i] = s.n
+	}
+	portalsFor := func(n int) int {
+		for _, s := range sizes {
+			if s.n == n {
+				return s.c
+			}
+		}
+		t.Fatalf("no portal count for n=%d", n)
+		return 0
+	}
+	alloctest.Run(t, []alloctest.AllocTest{{
+		Name: "MPCStep",
+		Ns:   ns,
+		Setup: func(t *testing.T, n int) func() {
+			c := portalsFor(n)
+			top, err := idc.SyntheticTopology(c, n, 20000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prices := make([]float64, n)
+			for j := range prices {
+				prices[j] = 20 + float64(j*7%40)
+			}
+			model, err := NewFoldedModel(top, prices, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			demands := make([]float64, c)
+			for i := range demands {
+				demands[i] = 8000
+			}
+			ref, err := alloc.Optimize(top, prices, demands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			servers := make([]int, n)
+			for j := range servers {
+				servers[j] = top.IDC(j).TotalServers
+			}
+			mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 4, PredHorizon: 6, CtrlHorizon: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := StepInput{
+				Model:    model,
+				State:    make([]float64, model.StateDim()),
+				PrevU:    ref.Allocation.Vector(),
+				Servers:  servers,
+				Demands:  demands,
+				RefPower: ref.PowerWatts,
+			}
+			// Warm the condensed cache and grow every scratch buffer to its
+			// steady size before measuring.
+			for k := 0; k < 3; k++ {
+				if _, err := mpc.Step(in); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return func() {
+				if _, err := mpc.Step(in); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+		Trend: alloctest.FlatZero(),
+	}})
+}

@@ -66,53 +66,54 @@ func newCondensed(model *Model, cfg MPCConfig) (*condensed, error) {
 	nu := model.InputDim()
 	b1, b2 := cfg.PredHorizon, cfg.CtrlHorizon
 
-	// Powers of Φ: phiPow[s] = Φ^s, s = 0…β1.
+	// Prediction chain and condensed Θ in one fused pass:
+	//   phiPow[s] = Φ^s (s = 0…β1),
+	//   cumG[s]   = Σ_{t=0}^{s} Φ^t·G (s = 0…β1−1),
+	//   cumPhi[s] = Σ_{t=0}^{s} Φ^t   (s = 0…β1−1),
+	// with the condensed prediction over z = (ΔU_0 … ΔU_{β2−1})
+	//   X(k+s) = Φ^s X + Ξ_s U(k−1) + Ω_s + Θ_{s,r} z,
+	//   Ξ_s = cumG[s−1], Ω_s = cumPhi[s−1]·Γ·V,
+	//   Θ_{s,r} = Σ_{t=r}^{s−1} Φ^{s−1−t} G = cumG[s−1−r] for r < min(s, β2).
+	// Iteration s extends each chain one term and fills Θ's row block s,
+	// which reads only cumG[0…s−1] — all built by then. Every value comes
+	// from the same operation on the same inputs as the unfused per-chain
+	// loops, so the fusion is bit-identical; it just walks each matrix once
+	// while it is cache-hot.
 	phiPow := make([]*mat.Dense, b1+1)
+	cumG := make([]*mat.Dense, b1)
+	cumPhi := make([]*mat.Dense, b1)
+	theta := mat.Zeros(ns*b1, nu*b2)
 	phiPow[0] = mat.Identity(ns)
+	first, err := mat.Mul(phiPow[0], model.G)
+	if err != nil {
+		return nil, err
+	}
+	cumG[0] = first
+	cumPhi[0] = phiPow[0]
+	var gScratch *mat.Dense
 	for s := 1; s <= b1; s++ {
 		p, err := mat.Mul(phiPow[s-1], model.Phi)
 		if err != nil {
 			return nil, err
 		}
 		phiPow[s] = p
-	}
-	// cumG[s] = Σ_{t=0}^{s} Φ^t·G (s = 0…β1−1). Each Φ^t·G term folds into
-	// the running sum through one reused scratch matrix.
-	cumG := make([]*mat.Dense, b1)
-	first, err := mat.Mul(phiPow[0], model.G)
-	if err != nil {
-		return nil, err
-	}
-	cumG[0] = first
-	var gScratch *mat.Dense
-	for s := 1; s < b1; s++ {
-		gScratch, err = mat.MulInto(gScratch, phiPow[s], model.G)
-		if err != nil {
-			return nil, err
+		if s < b1 {
+			// Φ^s·G folds into the running sum through one reused scratch.
+			gScratch, err = mat.MulInto(gScratch, phiPow[s], model.G)
+			if err != nil {
+				return nil, err
+			}
+			c, err := mat.AddInto(nil, cumG[s-1], gScratch)
+			if err != nil {
+				return nil, err
+			}
+			cumG[s] = c
+			cp, err := mat.Add(cumPhi[s-1], phiPow[s])
+			if err != nil {
+				return nil, err
+			}
+			cumPhi[s] = cp
 		}
-		c, err := mat.AddInto(nil, cumG[s-1], gScratch)
-		if err != nil {
-			return nil, err
-		}
-		cumG[s] = c
-	}
-	// cumPhi[s] = Σ_{t=0}^{s} Φ^t (s = 0…β1−1) for the disturbance term.
-	cumPhi := make([]*mat.Dense, b1)
-	cumPhi[0] = phiPow[0]
-	for s := 1; s < b1; s++ {
-		c, err := mat.Add(cumPhi[s-1], phiPow[s])
-		if err != nil {
-			return nil, err
-		}
-		cumPhi[s] = c
-	}
-
-	// Condensed prediction over z = (ΔU_0 … ΔU_{β2−1}):
-	//   X(k+s) = Φ^s X + Ξ_s U(k−1) + Ω_s + Θ_{s,r} z
-	// with Ξ_s = cumG[s−1], Ω_s = cumPhi[s−1]·Γ·V and
-	// Θ_{s,r} = Σ_{t=r}^{s−1} Φ^{s−1−t} G = cumG[s−1−r] for r < min(s, β2).
-	theta := mat.Zeros(ns*b1, nu*b2)
-	for s := 1; s <= b1; s++ {
 		for r := 0; r < b2 && r < s; r++ {
 			theta.SetBlock((s-1)*ns, r*nu, cumG[s-1-r])
 		}

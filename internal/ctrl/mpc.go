@@ -300,6 +300,7 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 	sc.xiU = mat.GrowVec(sc.xiU, ns)
 	sc.omega = mat.GrowVec(sc.omega, ns)
 	free, xiU, omega := sc.free, sc.xiU, sc.omega
+	sc.predBuf = mat.GrowVec(sc.predBuf, ns*b1)
 	for s := 1; s <= b1; s++ {
 		if err := mat.MulVecInto(free, cd.phiPow[s], in.State); err != nil {
 			return nil, err
@@ -309,6 +310,14 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 		}
 		if err := mat.MulVecInto(omega, cd.cumPhi[s-1], gamV); err != nil {
 			return nil, err
+		}
+		// Free-response base of the predicted trajectory, finished with +Θz
+		// after the solve. The sum order matches the pre-fusion second pass
+		// ((free+ξU)+ω, then +Θz), so the fusion is bit-identical — it only
+		// removes the three duplicate mat-vec products per horizon step.
+		base := sc.predBuf[(s-1)*ns : s*ns]
+		for i := 0; i < ns; i++ {
+			base[i] = free[i] + xiU[i] + omega[i]
 		}
 		stepRef := refAt(s)
 		//lint:ignore floateq documented sentinel: exactly-zero RefCostRate means "derive from prices"
@@ -348,33 +357,25 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 
 	m.prevZ = append(m.prevZ[:0], res.X...)
 
-	// Predicted trajectory under the planned z. Computed before u: in.PrevU
-	// may alias the previous output's U buffer (sc.u), so every read of it
-	// must precede the write below.
+	// Predicted trajectory under the planned z: the free-response base is
+	// already in predBuf (stored by the residual pass above), so only Θz is
+	// added here. in.PrevU may alias the previous output's U buffer (sc.u);
+	// it is no longer read after the residual pass, so the write to sc.u
+	// below stays safe.
 	sc.thz = mat.GrowVec(sc.thz, ns*b1)
 	thz := sc.thz
 	if err := mat.MulVecInto(thz, cd.theta, res.X); err != nil {
 		return nil, err
 	}
-	sc.predBuf = mat.GrowVec(sc.predBuf, ns*b1)
 	if len(sc.preds) != b1 {
 		//lint:ignore hotalloc grow-only scratch: allocates once, then reused every step
 		sc.preds = make([][]float64, b1)
 	}
 	preds := sc.preds
 	for s := 1; s <= b1; s++ {
-		if err := mat.MulVecInto(free, cd.phiPow[s], in.State); err != nil {
-			return nil, err
-		}
-		if err := mat.MulVecInto(xiU, cd.cumG[s-1], in.PrevU); err != nil {
-			return nil, err
-		}
-		if err := mat.MulVecInto(omega, cd.cumPhi[s-1], gamV); err != nil {
-			return nil, err
-		}
 		row := sc.predBuf[(s-1)*ns : s*ns]
 		for i := 0; i < ns; i++ {
-			row[i] = free[i] + xiU[i] + omega[i] + thz[(s-1)*ns+i]
+			row[i] += thz[(s-1)*ns+i]
 		}
 		preds[s-1] = row
 	}

@@ -43,6 +43,7 @@ func runDaily() (*Output, error) {
 		Ts:        300,
 		SlowEvery: 12, // hourly reference re-solve, matching price updates
 		MPC:       ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+		Metrics:   Metrics(),
 	})
 	if err != nil {
 		return nil, err

@@ -361,6 +361,7 @@ func flipScenario(budgets []float64) sim.Scenario {
 		SlowEvery: 4,
 		MPC:       ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
 		Budgets:   budgets,
+		Metrics:   Metrics(),
 	}
 }
 

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// sharedMetrics is the registry every experiment's simulation instruments
+// into when one has been installed with SetMetrics. It defaults to nil, in
+// which case each controller keeps its private registry (see core.New):
+// batch runs pay no cross-experiment aggregation and experiments running
+// concurrently on the worker pool never mix their instrument streams.
+var sharedMetrics atomic.Pointer[obs.Registry]
+
+// SetMetrics installs the registry that all subsequently started
+// experiments instrument into. cmd/idcexp calls it once, before any
+// experiment runs, when -metrics asks for a live endpoint; the endpoint
+// then aggregates the whole run exactly as the process-wide default used
+// to, but only because the caller opted in.
+func SetMetrics(reg *obs.Registry) { sharedMetrics.Store(reg) }
+
+// Metrics returns the registry installed by SetMetrics, or nil when the
+// experiments should keep their controllers' private registries.
+func Metrics() *obs.Registry { return sharedMetrics.Load() }

@@ -108,6 +108,7 @@ func runViciousCycle() (*Output, error) {
 		SlowEvery:    12,
 		MPC:          ctrl.MPCConfig{PowerWeight: 1, SmoothWeight: 12},
 		SkipBaseline: true,
+		Metrics:      Metrics(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("vicious-cycle control: %w", err)

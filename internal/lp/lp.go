@@ -180,6 +180,11 @@ type tableau struct {
 	flipped []bool
 	// artOfRow[r] is the artificial column created for row r, or −1.
 	artOfRow []int
+	// basicMark[j] mirrors basis membership during iterate so the pricing
+	// loop tests O(1) per column instead of scanning basis (O(m)); lazily
+	// sized, rebuilt at the top of each iterate call and maintained across
+	// pivots.
+	basicMark []bool
 	// blandPivots counts pivots taken under Bland's anti-cycling rule, across
 	// the tableau's lifetime. Observability for the degenerate-warm-start test.
 	blandPivots int
@@ -408,6 +413,19 @@ func (t *tableau) objective(cost []float64) float64 {
 func (t *tableau) iterate(cost []float64, _ float64) Status {
 	n := t.rhsCol()
 	maxIters := 200 + 50*(t.m+n)
+	if len(t.basicMark) < n {
+		//lint:ignore hotalloc grow-only scratch: sized once per tableau, reused by later iterates
+		t.basicMark = make([]bool, n)
+	}
+	mark := t.basicMark[:n]
+	for j := range mark {
+		mark[j] = false
+	}
+	for _, b := range t.basis {
+		mark[b] = true
+	}
+	// cost is fixed for the whole call, so the phase test is loop-invariant.
+	inP1 := t.inPhase1(cost)
 	for local := 0; ; local++ {
 		if local > maxIters {
 			return IterationLimit
@@ -419,13 +437,13 @@ func (t *tableau) iterate(cost []float64, _ float64) Status {
 		enter := -1
 		bestRC := -pivotTol
 		for j := 0; j < n; j++ {
-			if t.isBasic(j) {
+			if mark[j] {
 				continue
 			}
 			// Forbid re-entering artificials once phase 1 is done: their
 			// cost in phase 2 is 0 which could cause harmless degenerate
 			// pivots; skip them entirely.
-			if cost[j] == 0 && j >= t.artStart && j < t.artStart+t.nArt && !t.inPhase1(cost) {
+			if cost[j] == 0 && j >= t.artStart && j < t.artStart+t.nArt && !inP1 {
 				continue
 			}
 			rc := cost[j]
@@ -467,7 +485,10 @@ func (t *tableau) iterate(cost []float64, _ float64) Status {
 		if useBland {
 			t.blandPivots++
 		}
+		old := t.basis[leave]
 		t.pivot(leave, enter)
+		mark[old] = false
+		mark[enter] = true
 	}
 }
 

@@ -29,14 +29,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, h := range s.Histograms {
 		writeHeader(&b, h.Name, h.Help, "histogram")
+		// The +Inf bucket and _count derive from the same Counts slice as
+		// the finite buckets — never from an independently computed total —
+		// so the cumulative series is monotone by construction even when
+		// writers raced the snapshot.
 		var cum uint64
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
 			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, formatFloat(bound), cum)
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
 		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
-		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, cum)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

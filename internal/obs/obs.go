@@ -112,6 +112,10 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
+	// nan counts dropped NaN observations: every `v > bound` compare is
+	// false for NaN, so recording one would file it into bucket 0 and
+	// poison sum to NaN for the lifetime of the instrument.
+	nan atomic.Uint64
 }
 
 // NewHistogram builds a histogram with the given ascending upper bounds.
@@ -130,19 +134,43 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 }
 
-// Observe records v.
+// Observe records v. NaN observations are dropped and counted on a
+// dedicated counter (NaNDropped) instead of poisoning the running sum.
 //
 //lint:hotsafe fixed-bucket scan plus two atomic ops, no allocation
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	if math.IsNaN(v) {
+		h.nan.Add(1)
+		return
+	}
+	h.observeWeighted(v, 1)
+}
+
+// observeWeighted records v as weight simultaneous observations: the bucket
+// count grows by weight and the sum by weight·v. Callers have already
+// handled nil and NaN.
+//
+//lint:hotsafe fixed-bucket scan plus two atomic ops, no allocation
+func (h *Histogram) observeWeighted(v float64, weight uint64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	addFloatBits(&h.sum, v)
+	h.counts[i].Add(weight)
+	addFloatBits(&h.sum, v*float64(weight))
+}
+
+// NaNDropped returns the number of NaN observations dropped by Observe.
+//
+//lint:hotsafe single atomic load, no allocation
+func (h *Histogram) NaNDropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.nan.Load()
 }
 
 // Count returns the total number of observations.

@@ -39,10 +39,11 @@ var (
 	defaultRegistry *Registry
 )
 
-// Default returns the process-wide registry. Controllers instrument into it
-// unless given a dedicated registry (core.WithMetrics), so a long-running
-// binary can expose every controller in the process from one endpoint —
-// the same aggregation model as Prometheus' default registerer.
+// Default returns the process-wide registry. Nothing instruments into it
+// implicitly — each controller defaults to its own isolated registry, and
+// sharing is explicit (core.WithMetrics) — so Default is an opt-in
+// rendezvous point for application-level instruments, not an aggregation
+// sink.
 func Default() *Registry {
 	defaultOnce.Do(func() { defaultRegistry = NewRegistry() })
 	return defaultRegistry
@@ -145,14 +146,16 @@ type GaugeValue struct {
 }
 
 // HistogramValue is one histogram in a Snapshot. Counts are per bucket
-// (non-cumulative); Counts[len(Bounds)] is the +Inf bucket.
+// (non-cumulative); Counts[len(Bounds)] is the +Inf bucket. NaNDropped is
+// the number of NaN observations the histogram refused to record.
 type HistogramValue struct {
-	Name   string    `json:"name"`
-	Help   string    `json:"help,omitempty"`
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"`
-	Sum    float64   `json:"sum"`
-	Count  uint64    `json:"count"`
+	Name       string    `json:"name"`
+	Help       string    `json:"help,omitempty"`
+	Bounds     []float64 `json:"bounds"`
+	Counts     []uint64  `json:"counts"`
+	Sum        float64   `json:"sum"`
+	Count      uint64    `json:"count"`
+	NaNDropped uint64    `json:"nan_dropped,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every instrument in a Registry,
@@ -222,6 +225,7 @@ func (r *Registry) Snapshot() Snapshot {
 			hv.Count += hv.Counts[i]
 		}
 		hv.Sum = h.Sum()
+		hv.NaNDropped = h.NaNDropped()
 		s.Histograms = append(s.Histograms, hv)
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// SampledHistogram decimates observations 1-in-every before they reach an
+// underlying Histogram. It exists for measurements whose *act of measuring*
+// is the dominant cost — the fast loop's wall-time pair of time.Now calls —
+// where always-on timing taxes the very latency being measured.
+//
+// The contract has two halves:
+//
+//   - Tick reports whether the current event is in the sample. It costs one
+//     atomic add, so the caller can gate the expensive measurement (clock
+//     reads, size computations) behind it and pay nothing on decimated
+//     events.
+//   - Observe records a sampled value with weight `every`: the bucket count
+//     grows by every and the sum by every·v, so Count and Sum remain
+//     unbiased estimates of the full event stream (Count is exact to within
+//     every−1 events; the decimation is deterministic, not probabilistic,
+//     and the first event is always sampled).
+//
+// A nil *SampledHistogram is a valid no-op: Tick returns false, so gated
+// measurement code never runs — this is the nil-registry fast path.
+type SampledHistogram struct {
+	h     *Histogram
+	every uint64
+	n     atomic.Uint64
+}
+
+// Sampled wraps h in a 1-in-every decimator. A nil h returns a nil wrapper
+// (the no-op fast path); every < 1 is treated as 1 (sample everything).
+func Sampled(h *Histogram, every int) *SampledHistogram {
+	if h == nil {
+		return nil
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &SampledHistogram{h: h, every: uint64(every)}
+}
+
+// Tick advances the decimation counter and reports whether the current
+// event is in the sample. Callers run the measurement (and Observe) only
+// when Tick returns true.
+//
+//lint:hotsafe single atomic add, no allocation
+func (s *SampledHistogram) Tick() bool {
+	if s == nil {
+		return false
+	}
+	if s.every <= 1 {
+		return true
+	}
+	return s.n.Add(1)%s.every == 1
+}
+
+// Observe records v, carrying the weight of the every−1 decimated events it
+// stands in for. Call it only for events Tick selected. NaN observations
+// are dropped onto the underlying histogram's NaN counter.
+//
+//lint:hotsafe fixed-bucket scan plus two atomic ops, no allocation
+func (s *SampledHistogram) Observe(v float64) {
+	if s == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		s.h.nan.Add(1)
+		return
+	}
+	s.h.observeWeighted(v, s.every)
+}
+
+// Unwrap returns the underlying histogram (nil for a nil wrapper), for
+// tests and exporters.
+func (s *SampledHistogram) Unwrap() *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.h
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/testenv"
+)
+
+// TestHistogramDropsNaN is the regression test for the NaN poisoning bug:
+// a NaN observation used to land in bucket 0 (every `v > bound` compare is
+// false for NaN) and turn the running sum into NaN forever.
+func TestHistogramDropsNaN(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(1.5)
+	if got := h.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2 (NaN must not be counted)", got)
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket 0 count = %d, want 1 (NaN must not land in bucket 0)", got)
+	}
+	if got := h.Sum(); got != 2 {
+		t.Errorf("Sum = %g, want 2 (NaN must not poison the sum)", got)
+	}
+	if got := h.NaNDropped(); got != 1 {
+		t.Errorf("NaNDropped = %d, want 1", got)
+	}
+	// Later observations still work.
+	h.Observe(3)
+	if got := h.Sum(); got != 5 {
+		t.Errorf("Sum after recovery = %g, want 5", got)
+	}
+
+	// The sampled path shares the drop-and-count behavior.
+	s := Sampled(NewHistogram([]float64{1}), 2)
+	s.Observe(math.NaN())
+	if got := s.Unwrap().NaNDropped(); got != 1 {
+		t.Errorf("sampled NaNDropped = %d, want 1", got)
+	}
+	if got := s.Unwrap().Count(); got != 0 {
+		t.Errorf("sampled Count after NaN = %d, want 0", got)
+	}
+
+	// Snapshot exposes the drop counter.
+	r := NewRegistry()
+	rh := r.Histogram("nan_h", "", []float64{1})
+	rh.Observe(math.NaN())
+	if hv, ok := r.Snapshot().Histogram("nan_h"); !ok || hv.NaNDropped != 1 {
+		t.Errorf("snapshot NaNDropped = %d, %v; want 1, true", hv.NaNDropped, ok)
+	}
+}
+
+// TestSampledPreservesExpectedCounts pins the decimation contract: a
+// 1-in-N sampler whose recorded observations carry weight N reproduces the
+// full stream's Count within N−1 and its Sum proportionally.
+func TestSampledPreservesExpectedCounts(t *testing.T) {
+	t.Parallel()
+	const (
+		every = 8
+		total = 10000
+	)
+	h := NewHistogram([]float64{1, 2, 4})
+	s := Sampled(h, every)
+	recorded := 0
+	for i := 0; i < total; i++ {
+		if s.Tick() {
+			s.Observe(1.5)
+			recorded++
+		}
+	}
+	wantRecorded := (total + every - 1) / every // first event always sampled
+	if recorded != wantRecorded {
+		t.Errorf("sampled %d of %d events, want %d", recorded, total, wantRecorded)
+	}
+	count := h.Count()
+	if count != uint64(recorded*every) {
+		t.Errorf("Count = %d, want %d (weight %d per sample)", count, recorded*every, every)
+	}
+	if diff := int64(count) - total; diff < 0 || diff > every-1 {
+		t.Errorf("Count %d deviates from true total %d by %d, tolerance %d", count, total, diff, every-1)
+	}
+	if got, want := h.Sum(), 1.5*float64(count); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+	// All weighted counts landed in the le=2 bucket.
+	if got := h.counts[1].Load(); got != count {
+		t.Errorf("le=2 bucket = %d, want %d", got, count)
+	}
+}
+
+func TestSampledEveryOnePassesEverything(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram([]float64{1})
+	s := Sampled(h, 1)
+	for i := 0; i < 100; i++ {
+		if !s.Tick() {
+			t.Fatalf("Tick %d = false with every=1", i)
+		}
+		s.Observe(0.5)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	if got := h.Sum(); got != 50 {
+		t.Errorf("Sum = %g, want 50", got)
+	}
+}
+
+// TestSampledNilFastPath pins the free-when-unobserved contract: a nil
+// wrapper (nil registry → nil histogram → nil sampler) never selects an
+// event, so gated measurement code never runs.
+func TestSampledNilFastPath(t *testing.T) {
+	t.Parallel()
+	if Sampled(nil, 4) != nil {
+		t.Error("Sampled(nil, 4) != nil")
+	}
+	var s *SampledHistogram
+	for i := 0; i < 10; i++ {
+		if s.Tick() {
+			t.Fatal("nil sampler Tick returned true")
+		}
+	}
+	s.Observe(1) // must not panic
+	if s.Unwrap() != nil {
+		t.Error("nil sampler Unwrap != nil")
+	}
+}
+
+// TestSampledTickAllocFree extends the zero-allocation pin to the sampler.
+func TestSampledTickAllocFree(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s := Sampled(NewHistogram(LatencyBuckets()), 16)
+	var nilS *SampledHistogram
+	allocs := testing.AllocsPerRun(100, func() {
+		if s.Tick() {
+			s.Observe(3.7e-5)
+		}
+		nilS.Tick()
+	})
+	if allocs != 0 {
+		t.Errorf("sampler observation allocated %v allocs/run, want 0", allocs)
+	}
+}

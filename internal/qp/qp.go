@@ -86,9 +86,10 @@ const (
 //
 // Everything cached here is a value some cold solve computed (or would
 // compute) with identical arithmetic: the Cholesky factor of H, the
-// H⁻¹aᵢ constraint columns, the Schur products aᵢᵀH⁻¹aⱼ, the Gram–Schmidt
-// prune prefix and the materialized constraint rows. Reuse therefore cannot
-// change a solution bit; it only skips recomputation.
+// H⁻¹aᵢ constraint columns, the Schur products aᵢᵀH⁻¹aⱼ and the factorized
+// Schur complements per working set, the Gram–Schmidt prune prefix and the
+// materialized constraint rows. Reuse therefore cannot change a solution
+// bit; it only skips recomputation.
 //
 // Reusing a Workspace after H, Aeq or Ain changed produces wrong results —
 // build a fresh one instead. A nil *Workspace is accepted everywhere and
@@ -103,11 +104,22 @@ const (
 type Workspace struct {
 	hChol  *mat.Cholesky
 	hReady bool
-	// z caches H⁻¹aᵢ per working-set row id (equalities 0…mEq−1, then
-	// inequalities mEq+i).
-	z map[int][]float64
-	// schur caches aᵢᵀ·H⁻¹·aⱼ keyed by the (ascending) row-id pair.
-	schur map[[2]int]float64
+	// nIDs is the constraint-id space (mEq + mIn) of the problem this
+	// workspace serves, fixed on the first solve; it sizes the id-indexed
+	// caches below. Ids are dense small integers (equalities 0…mEq−1, then
+	// inequalities mEq+i), so flat arrays replace the previous maps — map
+	// hashing was the single largest cost of the steady-state solve.
+	nIDs int
+	// zByID caches H⁻¹aᵢ per working-set row id (nil = not yet computed).
+	zByID [][]float64
+	// schurV/schurSet cache aᵢᵀ·H⁻¹·aⱼ at index a·nIDs+b for the ascending
+	// id pair (a ≤ b), so the (i≤j) orientation of each dot product is
+	// stable and a cached value is the bit a fresh computation produces.
+	schurV   []float64
+	schurSet []bool
+	// sfc caches the factorized Schur complement per kktStep call index —
+	// the same per-call-index replay idea as pruneState below.
+	sfc schurFactorCache
 	// prune is the incremental Gram–Schmidt state of pruneDependent.
 	prune pruneState
 	// aeqRows/ainRows are the materialized constraint rows (Dense.Row
@@ -131,7 +143,6 @@ type Workspace struct {
 	activeBuf   []bool
 	activeIdx   []int
 	schurBuf    *mat.Dense
-	sChol       mat.Cholesky
 	prob        Problem // backing store for SolveLSWith's lowered problem
 	res         Result
 
@@ -268,6 +279,17 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	if p.Ain != nil {
 		mIn = p.Ain.Rows()
 	}
+	if need := mEq + mIn; ws.nIDs < need {
+		// The id-indexed caches are sized once: the constraint set is fixed
+		// for the workspace's lifetime (see the reuse contract above).
+		//lint:ignore hotalloc sized on the first solve through the workspace, then reused
+		ws.zByID = make([][]float64, need)
+		//lint:ignore hotalloc sized on the first solve through the workspace, then reused
+		ws.schurV = make([]float64, need*need)
+		//lint:ignore hotalloc sized on the first solve through the workspace, then reused
+		ws.schurSet = make([]bool, need*need)
+		ws.nIDs = need
+	}
 
 	// H is constant across active-set iterations (and across every solve
 	// sharing the workspace): factor it once. The Cholesky enables the
@@ -320,6 +342,7 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 		}
 	}
 	ws.prune.beginSolve()
+	ws.sfc.beginSolve()
 	pruneDependent(aeqRows, ainRows, active, mEq, &ws.prune)
 
 	maxIters := 100 + 20*(n+mEq+mIn)
@@ -468,53 +491,60 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	if k == 0 {
 		return y, nil, nil
 	}
-	// Z = H⁻¹·Awᵀ column by column, cached per constraint for the lifetime
-	// of the workspace (H does not change while it is valid). Cache misses
-	// allocate their vector — it must outlive the call inside the map.
-	if ws.z == nil {
-		//lint:ignore hotalloc built once per workspace, then reused
-		ws.z = make(map[int][]float64)
-	}
+	// Z = H⁻¹·Awᵀ column by column, cached per constraint id for the
+	// lifetime of the workspace (H does not change while it is valid).
+	// Cache misses allocate their vector — it must outlive the call inside
+	// the cache.
 	if cap(ws.zrows) < k {
 		//lint:ignore hotalloc grow-only scratch: allocates only until the steady size is reached
 		ws.zrows = make([][]float64, k)
 	}
 	z := ws.zrows[:k] // z[i] = H⁻¹·a_i
 	for i, row := range workRows {
-		if cached, ok := ws.z[workIDs[i]]; ok {
+		if cached := ws.zByID[workIDs[i]]; cached != nil {
 			z[i] = cached
 			continue
 		}
-		//lint:ignore hotalloc cache miss: the vector must outlive the call inside the map
+		//lint:ignore hotalloc cache miss: the vector must outlive the call inside the cache
 		zi := make([]float64, n)
 		if err := hChol.SolveVecInto(zi, row); err != nil {
 			return nil, nil, fmt.Errorf("qp: H solve: %w", err)
 		}
-		ws.z[workIDs[i]] = zi
+		ws.zByID[workIDs[i]] = zi
 		z[i] = zi
 	}
-	// Schur entries s_ij = aᵢᵀ·H⁻¹·aⱼ likewise depend only on the
-	// constraint pair; cache them across iterations and solves. Positions
-	// are in ascending workID order, so the (i≤j) orientation of each dot
-	// product is stable and the cached value is the bit the fresh
-	// computation would produce.
-	if ws.schur == nil {
-		//lint:ignore hotalloc built once per workspace, then reused
-		ws.schur = make(map[[2]int]float64)
-	}
-	ws.schurBuf = mat.ReuseDense(ws.schurBuf, k, k)
-	schur := ws.schurBuf
-	for i := 0; i < k; i++ {
-		for j := i; j < k; j++ {
-			key := [2]int{workIDs[i], workIDs[j]}
-			v, ok := ws.schur[key]
-			if !ok {
-				v = mat.Dot(workRows[i], z[j])
-				ws.schur[key] = v
+	// Factorized Schur complement, cached per kktStep call index: a
+	// steady-state re-solve replays the same working-set evolution, so when
+	// this call's id sequence matches the last solve's, the cached factor
+	// IS the factor a rebuild would produce (the S it factored was
+	// assembled from the same cached entries) — skip both the assembly and
+	// the Cholesky, which dominated the per-iteration cost.
+	ent := ws.sfc.next()
+	if !sameIDs(ent.ids, workIDs) {
+		ent.ids = ent.ids[:0] // invalid until Factor succeeds
+		// Assemble S (s_ij = aᵢᵀ·H⁻¹·aⱼ) from the per-pair entry cache,
+		// which persists across iterations and solves.
+		ws.schurBuf = mat.ReuseDense(ws.schurBuf, k, k)
+		schur := ws.schurBuf
+		nIDs := ws.nIDs
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				idx := workIDs[i]*nIDs + workIDs[j]
+				v := ws.schurV[idx]
+				if !ws.schurSet[idx] {
+					v = mat.Dot(workRows[i], z[j])
+					ws.schurV[idx] = v
+					ws.schurSet[idx] = true
+				}
+				schur.Set(i, j, v)
+				schur.Set(j, i, v)
 			}
-			schur.Set(i, j, v)
-			schur.Set(j, i, v)
 		}
+		if err := ent.chol.Factor(schur); err != nil {
+			return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
+		}
+		//lint:ignore hotalloc grow-only id key: reaches steady size, then reused
+		ent.ids = append(ent.ids, workIDs...)
 	}
 	// S·λ = Aw·y.
 	ws.rhs = mat.GrowVec(ws.rhs, k)
@@ -522,12 +552,9 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	for i, row := range workRows {
 		rhs[i] = mat.Dot(row, y)
 	}
-	if err := ws.sChol.Factor(schur); err != nil {
-		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
-	}
 	ws.lamBuf = mat.GrowVec(ws.lamBuf, k)
 	lam = ws.lamBuf
-	if err := ws.sChol.SolveVecInto(lam, rhs); err != nil {
+	if err := ent.chol.SolveVecInto(lam, rhs); err != nil {
 		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
 	}
 	// dir = y − Z·λ.
@@ -569,6 +596,56 @@ func denseKKTStep(p *Problem, workRows [][]float64, grad []float64, n int) (dir,
 		return nil, nil, fmt.Errorf("qp: singular KKT system: %w", err)
 	}
 	return sol[:n], sol[n:], nil
+}
+
+// schurFactorEntry is one cached Schur factorization: the exact working-set
+// id sequence it was built for and the Cholesky factor of its S. An empty
+// ids marks the entry invalid (fresh, or its last Factor failed).
+type schurFactorEntry struct {
+	ids  []int
+	chol mat.Cholesky
+}
+
+// schurFactorCache caches the factorized Schur complement per kktStep call
+// index within a solve — the per-call-index replay idea of pruneState: the
+// working set evolves identically across steady-state re-solves, so call
+// index c sees the same id sequence every solve and its factor can be
+// reused verbatim. The entries never invalidate each other; a call whose
+// ids differ simply refactors its own slot.
+type schurFactorCache struct {
+	entries []*schurFactorEntry
+	call    int
+}
+
+// beginSolve rewinds the call counter; each kktStep claims the next slot.
+func (c *schurFactorCache) beginSolve() { c.call = 0 }
+
+// next returns (growing on demand) the entry for the current call index.
+//
+//lint:hotsafe grow-only slot list: one append per call index, then reused
+func (c *schurFactorCache) next() *schurFactorEntry {
+	if c.call >= len(c.entries) {
+		//lint:ignore hotalloc grow-only cache: one entry per call index, then reused every solve
+		c.entries = append(c.entries, &schurFactorEntry{})
+	}
+	e := c.entries[c.call]
+	c.call++
+	return e
+}
+
+// sameIDs reports whether a and b hold the same id sequence.
+//
+//lint:hotsafe integer comparison loop, no allocation
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // pruneEntry is one processed working-set row: its id and its orthonormal

@@ -60,9 +60,14 @@ type Scenario struct {
 	// Observer, when non-nil, receives the controller's per-step telemetry
 	// (passed through as core.WithObserver).
 	Observer core.Observer
-	// Metrics, when non-nil, isolates the controller's instruments in this
-	// registry instead of the process-wide obs.Default().
+	// Metrics, when non-nil, shares the controller's instruments through
+	// this registry (passed through as core.WithMetrics). When nil the
+	// controller keeps its own private registry.
 	Metrics *obs.Registry
+	// SampleEvery, when > 0, overrides the controller's fast-loop latency
+	// sampling rate (passed through as core.WithSampleEvery). Zero keeps
+	// core.DefaultSampleEvery.
+	SampleEvery int
 	// TraceWriter, when non-nil, receives a JSONL telemetry trace
 	// (passed through as core.WithTrace). The caller owns buffering.
 	TraceWriter io.Writer
@@ -185,6 +190,9 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	}
 	if sc.Metrics != nil {
 		opts = append(opts, core.WithMetrics(sc.Metrics))
+	}
+	if sc.SampleEvery > 0 {
+		opts = append(opts, core.WithSampleEvery(sc.SampleEvery))
 	}
 	if sc.TraceWriter != nil {
 		opts = append(opts, core.WithTrace(sc.TraceWriter))

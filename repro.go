@@ -148,9 +148,16 @@ func WithObserver(o Observer) Option { return core.WithObserver(o) }
 // trace). The caller owns buffering and flushing.
 func WithTrace(w io.Writer) Option { return core.WithTrace(w) }
 
-// WithMetrics directs the controller's instruments into reg instead of the
-// shared DefaultMetrics() registry.
+// WithMetrics directs the controller's instruments into reg, sharing one
+// registry across controllers (or with an HTTP exporter). Without it each
+// controller instruments a private registry, readable via Metrics().
 func WithMetrics(reg *Metrics) Option { return core.WithMetrics(reg) }
+
+// WithSampleEvery sets the 1-in-n sampling rate of the fast-loop latency
+// histogram (default core.DefaultSampleEvery). 1 times every step; larger
+// n cheapens the hot loop. Counters, gauges and slow-loop timings are
+// always exact.
+func WithSampleEvery(n int) Option { return core.WithSampleEvery(n) }
 
 // WithClock substitutes the wall clock behind the latency instruments
 // (deterministic tests); control behavior is unaffected.
@@ -159,9 +166,10 @@ func WithClock(now func() time.Time) Option { return core.WithClock(now) }
 // NewMetrics returns an empty, independent instrument registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
-// DefaultMetrics returns the process-wide registry that controllers
-// instrument into when WithMetrics is not given — every controller in the
-// process aggregates here.
+// DefaultMetrics returns the process-wide rendezvous registry. Controllers
+// do NOT instrument into it implicitly — each gets a private registry
+// unless WithMetrics passes one in; pass DefaultMetrics() explicitly to
+// aggregate controllers process-wide.
 func DefaultMetrics() *Metrics { return obs.Default() }
 
 // MetricsHandler serves reg in Prometheus text exposition format. A nil
