@@ -15,8 +15,11 @@
 // Two regression gates compare the parsed run against a previous summary:
 // -check-series fails on any bit drift of the deterministic series-sum /
 // MW-sum checksums (machine-independent; wired into CI), and -check-perf
-// fails when a pinned hot benchmark (MPCStep, the warm reference LP)
-// regresses more than 10% in ns/op (same-machine comparisons only; wired
+// fails when a pinned hot benchmark (MPCStep, the warm reference LP, the
+// solver scaling points) regresses in ns/op beyond tolerance — after
+// normalizing out machine drift via the frozen Expm calibration benchmark
+// — or when a pinned same-snapshot ratio (the structured-vs-dense MPC
+// payoff) falls below its floor (same-machine comparisons only; wired
 // into `make bench`).
 package main
 
@@ -114,29 +117,70 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 	}
 	if *perfPath != "" {
-		return checkPerf(&sum, *perfPath)
+		return checkPerf(&sum, *perfPath, out)
 	}
 	return nil
 }
 
 // perfPinned names the hot benchmarks whose ns/op is pinned against the
 // previous snapshot: the fast-loop MPC solve and the warm reference LP —
-// the two per-step paths with a real-time budget. Everything else is
-// tracked but not gated (cold paths and figure regenerations are allowed
-// to grow as the codebase does).
-var perfPinned = []string{"MPCStep", "ReferenceLP/Warm"}
+// the two per-step paths with a real-time budget — plus the planet-scale
+// solver-kernel benchmarks (the structured MPC step and the revised-simplex
+// scaling points), which exist precisely to keep the large-topology story
+// honest. Everything else is tracked but not gated (cold paths and figure
+// regenerations are allowed to grow as the codebase does).
+var perfPinned = []string{
+	"MPCStep",
+	"ReferenceLP/Warm",
+	"MPCStepScaling/C20xN10",
+	"MPCStepScaling/C50xN20",
+	"SimplexScaling/C50xN20",
+	"SimplexScaling/C100xN20",
+}
 
-// perfTolerance is the allowed fractional ns/op growth before checkPerf
-// fails. Perf comparisons only make sense between runs on the same
-// machine, so this gate belongs in `make bench`, not cross-machine CI.
-const perfTolerance = 0.10
+// perfTolerance is the allowed fractional calibrated ns/op growth before
+// checkPerf fails. Perf comparisons only make sense between runs on the
+// same machine, so this gate belongs in `make bench`, not cross-machine
+// CI — and even same-machine runs see ±15–20% minute-scale drift on
+// shared hardware (frequency scaling, noisy neighbors), which hits
+// benchmarks at different points of a long run differently, so even the
+// Expm-calibrated comparison carries residual noise. 35% is wide enough
+// that the gate never cries wolf on a clean tree, and tight enough to
+// catch the structural regressions it exists for (an accidental O(n)
+// → O(n²) hot path, a lost cache). Gradual creep is caught in review by
+// diffing the committed BENCH_*.json snapshots.
+const perfTolerance = 0.35
+
+// perfCalibration names the benchmark used to normalize out machine
+// drift between the current run and the reference snapshot: Expm runs a
+// fixed 4×4 matrix exponential — below every blocked-kernel dispatch
+// threshold, allocation-stable, and untouched since the seed — so any
+// change in its ns/op between two snapshots measures the machine, not
+// the code. When it is present in both summaries, every pinned
+// comparison divides the current ns/op by the drift ratio first.
+const perfCalibration = "Expm"
+
+// perfRatioPins are same-snapshot ns/op ratio floors: num must be at
+// most maxFrac of den within the *current* run. Ratios between two lines
+// of one snapshot are machine-independent, so these encode the claims
+// the solver-kernel work is sold on — the structured condensed-QP path
+// must beat the ForceDense control at the planet-scale topology by ≥5×.
+// A pin is skipped when either side is absent (CI's -short bench-smoke
+// skips the expensive dense control).
+var perfRatioPins = []struct {
+	num, den string
+	maxFrac  float64
+}{
+	{"MPCStepScaling/C50xN20", "MPCStepScalingDense/C50xN20", 0.20},
+}
 
 // checkPerf compares the pinned benchmarks' ns/op against the reference
-// summary at path and fails when any regressed beyond perfTolerance.
-// A pinned benchmark missing from the current run is an error (the gate
-// must not pass vacuously); one missing from the reference is skipped
-// (first snapshot that includes it).
-func checkPerf(sum *Summary, path string) error {
+// summary at path and fails when any regressed beyond perfTolerance
+// after drift calibration, or when a same-snapshot ratio pin misses its
+// floor. A pinned benchmark missing from the current run is an error
+// (the gate must not pass vacuously); one missing from the reference is
+// skipped (first snapshot that includes it).
+func checkPerf(sum *Summary, path string, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("check-perf: %w", err)
@@ -154,6 +198,14 @@ func checkPerf(sum *Summary, path string) error {
 		}
 		return 0, false
 	}
+	drift := 1.0
+	if curCal, ok := nsPerOp(sum, perfCalibration); ok {
+		if refCal, ok := nsPerOp(&ref, perfCalibration); ok && refCal > 0 && curCal > 0 {
+			drift = curCal / refCal
+			fmt.Fprintf(out, "benchjson: check-perf: machine drift ×%.3f vs %s (%s %.0f → %.0f ns/op)\n",
+				drift, path, perfCalibration, refCal, curCal)
+		}
+	}
 	var regressions []string
 	for _, name := range perfPinned {
 		got, ok := nsPerOp(sum, name)
@@ -164,10 +216,23 @@ func checkPerf(sum *Summary, path string) error {
 		if !ok {
 			continue
 		}
-		if got > want*(1+perfTolerance) {
+		calibrated := got / drift
+		if calibrated > want*(1+perfTolerance) {
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f ns/op vs reference %.0f (+%.1f%%, tolerance %.0f%%)",
-					name, got, want, 100*(got/want-1), 100*perfTolerance))
+				fmt.Sprintf("%s: %.0f ns/op (calibrated %.0f) vs reference %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, got, calibrated, want, 100*(calibrated/want-1), 100*perfTolerance))
+		}
+	}
+	for _, pin := range perfRatioPins {
+		num, okN := nsPerOp(sum, pin.num)
+		den, okD := nsPerOp(sum, pin.den)
+		if !okN || !okD || den <= 0 {
+			continue
+		}
+		if num > den*pin.maxFrac {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op is %.1f%% of %s (%.0f ns/op); pinned at ≤%.0f%% (≥%.1f× speedup)",
+					pin.num, num, 100*num/den, pin.den, den, 100*pin.maxFrac, 1/pin.maxFrac))
 		}
 	}
 	if len(regressions) > 0 {

@@ -15,6 +15,11 @@ pkg: repro
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkMPCStep-4        	   13701	     82388 ns/op	      39 B/op	       0 allocs/op
 BenchmarkReferenceLP/Warm-4 	  361116	      3007 ns/op	    3368 B/op	      20 allocs/op
+BenchmarkMPCStepScaling/C20xN10-4 	     100	  14000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMPCStepScaling/C50xN20-4 	      50	  21000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMPCStepScalingDense/C50xN20-4 	       5	 210000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimplexScaling/C50xN20-4 	     200	   5000000 ns/op	    1024 B/op	      10 allocs/op
+BenchmarkSimplexScaling/C100xN20-4 	    100	  20000000 ns/op	    2048 B/op	      20 allocs/op
 BenchmarkFig4-4           	      10	 104948436 ns/op	 4.186e+07 checksum	      12 figs
 PASS
 ok  	repro	2.459s
@@ -40,8 +45,8 @@ func TestParseAndEmit(t *testing.T) {
 	if sum.Goos != "linux" || sum.Pkg != "repro" {
 		t.Errorf("header fields = %q/%q, want linux/repro", sum.Goos, sum.Pkg)
 	}
-	if len(sum.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(sum.Benchmarks))
+	if len(sum.Benchmarks) != 8 {
+		t.Fatalf("parsed %d benchmarks, want 8", len(sum.Benchmarks))
 	}
 	mpc := sum.Benchmarks[0]
 	if mpc.Name != "MPCStep" || mpc.Iterations != 13701 {
@@ -53,8 +58,8 @@ func TestParseAndEmit(t *testing.T) {
 	if sum.Benchmarks[1].Name != "ReferenceLP/Warm" {
 		t.Errorf("sub-benchmark name = %q, want ReferenceLP/Warm", sum.Benchmarks[1].Name)
 	}
-	if sum.Benchmarks[2].Metrics["checksum"] != 4.186e+07 {
-		t.Errorf("custom metric checksum = %v", sum.Benchmarks[2].Metrics["checksum"])
+	if sum.Benchmarks[7].Metrics["checksum"] != 4.186e+07 {
+		t.Errorf("custom metric checksum = %v", sum.Benchmarks[7].Metrics["checksum"])
 	}
 }
 
@@ -178,7 +183,7 @@ func writePerfRef(t *testing.T, mpcNs, warmNs float64) string {
 func TestCheckPerfWithinTolerancePasses(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "bench.json")
 	// Current run (sample): MPCStep 82388, Warm 3007. Reference slightly
-	// slower and slightly faster — both inside the 10% window.
+	// slower and slightly faster — both inside the tolerance window.
 	ref := writePerfRef(t, 80000, 3200)
 	var stdout bytes.Buffer
 	if err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(sample), &stdout); err != nil {
@@ -188,7 +193,7 @@ func TestCheckPerfWithinTolerancePasses(t *testing.T) {
 
 func TestCheckPerfRegressionFails(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "bench.json")
-	ref := writePerfRef(t, 70000, 3200) // MPCStep 82388 is +17.7% vs 70000
+	ref := writePerfRef(t, 50000, 3200) // MPCStep 82388 is +64.8% vs 50000
 	var stdout bytes.Buffer
 	err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(sample), &stdout)
 	if err == nil || !strings.Contains(err.Error(), "regression") {
@@ -199,6 +204,92 @@ func TestCheckPerfRegressionFails(t *testing.T) {
 	}
 	if strings.Contains(err.Error(), "ReferenceLP/Warm") {
 		t.Errorf("regression error names a benchmark that did not regress: %v", err)
+	}
+}
+
+// calSample is the sample run plus the Expm calibration benchmark, used
+// by the drift-normalization tests.
+var calSample = strings.Replace(sample, "PASS\n",
+	"BenchmarkExpm-4 	  500000	      6000 ns/op	    1808 B/op	      31 allocs/op\nPASS\n", 1)
+
+// writeCalRef writes a reference with pinned MPCStep/Warm ns/op plus an
+// Expm calibration entry, and returns its path.
+func writeCalRef(t *testing.T, mpcNs, warmNs, expmNs float64) string {
+	t.Helper()
+	ref := Summary{Benchmarks: []Benchmark{
+		{Name: "MPCStep", Iterations: 10000, Metrics: map[string]float64{"ns/op": mpcNs}},
+		{Name: "ReferenceLP/Warm", Iterations: 300000, Metrics: map[string]float64{"ns/op": warmNs}},
+		{Name: "Expm", Iterations: 500000, Metrics: map[string]float64{"ns/op": expmNs}},
+	}}
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "calref.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPerfCalibratesOutMachineDrift(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	// Raw MPCStep regressed +64.8% (82388 vs 50000) — far past tolerance —
+	// but Expm doubled too (6000 vs 3000): the machine is 2× slower, and
+	// the calibrated value 41194 is actually an improvement.
+	ref := writeCalRef(t, 50000, 3200, 3000)
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(calSample), &stdout); err != nil {
+		t.Fatalf("run with drift-explained slowdown: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "machine drift") {
+		t.Error("drift factor was not reported on stdout")
+	}
+}
+
+func TestCheckPerfCalibratedRegressionStillFails(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	// Expm is unchanged (6000 vs 6000, drift ×1.0) so the raw +64.8%
+	// MPCStep regression is real and must still fail.
+	ref := writeCalRef(t, 50000, 3200, 6000)
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(calSample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "MPCStep") {
+		t.Fatalf("want MPCStep regression error, got %v", err)
+	}
+}
+
+func TestCheckPerfRatioPinFails(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	// Structured C50xN20 at 150ms vs dense 210ms is only 1.4× — below the
+	// pinned ≥5× floor. Ratio pins compare within the current run, so the
+	// reference values don't matter.
+	slow := strings.Replace(sample,
+		"BenchmarkMPCStepScaling/C50xN20-4 	      50	  21000000 ns/op",
+		"BenchmarkMPCStepScaling/C50xN20-4 	      50	 150000000 ns/op", 1)
+	ref := writePerfRef(t, 80000, 3200)
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(slow), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "speedup") {
+		t.Fatalf("want ratio-pin error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "MPCStepScaling/C50xN20") {
+		t.Errorf("ratio error does not name the benchmark: %v", err)
+	}
+}
+
+func TestCheckPerfRatioPinSkippedWhenDenseAbsent(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	// CI's -short run skips the dense control; the ratio pin must not
+	// fail vacuously. Slow structured line + no dense line → no ratio
+	// comparison, and the remaining pins are clean.
+	noDense := strings.Replace(sample,
+		"BenchmarkMPCStepScalingDense/C50xN20-4 	       5	 210000000 ns/op	       0 B/op	       0 allocs/op\n",
+		"", 1)
+	ref := writePerfRef(t, 80000, 3200)
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(noDense), &stdout); err != nil {
+		t.Fatalf("run without dense control: %v", err)
 	}
 }
 

@@ -49,6 +49,13 @@ type condensed struct {
 	psi   *mat.Dense
 	aeq   *mat.Dense
 	ain   *mat.Dense
+	// aeqS/ainS are compressed views of aeq/ain, populated only when the
+	// form is structured (planet-scale topologies): each horizon row touches
+	// a handful of columns out of thousands, so the solver's row dots drop
+	// to O(nnz). Sparse and dense dots are bit-identical, but the small
+	// checksummed topologies keep the legacy dense-only path regardless.
+	aeqS *mat.SparseRows
+	ainS *mat.SparseRows
 
 	// ws carries the QP solver's cross-solve caches; valid exactly as long
 	// as this condensed is (fixed H, aeq, ain).
@@ -168,9 +175,28 @@ func newCondensed(model *Model, cfg MPCConfig) (*condensed, error) {
 		}
 	}
 
-	form, err := qp.NewLSForm(theta, wq, wr)
-	if err != nil {
-		return nil, err
+	// Lowered-Hessian dispatch (DESIGN.md §3.10): at planet scale the
+	// condensed Hessian is diagonal-plus-low-rank, so the structured form
+	// factors an (ns·β1)² capacitance matrix instead of an (nu·β2)² Hessian.
+	// Below the threshold — which sits above every checksummed benchmark
+	// topology — the dense form keeps the legacy bit-identical arithmetic.
+	// The structured constructor can reject weight patterns it cannot invert
+	// (it never does for the ridge-floored wr built above, but the fallback
+	// keeps the controller total); a rejection drops to the dense form.
+	var form *qp.LSForm
+	structuredForm := false
+	if nu*b2 >= qp.StructuredMinVars && !cfg.ForceDense {
+		if f, err := qp.NewStructuredLSForm(theta, wq, wr); err == nil {
+			form = f
+			structuredForm = true
+		}
+	}
+	if form == nil {
+		f, err := qp.NewLSForm(theta, wq, wr)
+		if err != nil {
+			return nil, err
+		}
+		form = f
 	}
 
 	// Constraint structure of (43)–(45): constraint blocks at step s touch
@@ -191,6 +217,11 @@ func newCondensed(model *Model, cfg MPCConfig) (*condensed, error) {
 			}
 		}
 	}
+	var aeqS, ainS *mat.SparseRows
+	if structuredForm {
+		aeqS = mat.SparseRowsFrom(aeq)
+		ainS = mat.SparseRowsFrom(ain)
+	}
 
 	return &condensed{
 		model:   model,
@@ -206,6 +237,8 @@ func newCondensed(model *Model, cfg MPCConfig) (*condensed, error) {
 		psi:     psi,
 		aeq:     aeq,
 		ain:     ain,
+		aeqS:    aeqS,
+		ainS:    ainS,
 		ws:      qp.NewWorkspace(),
 	}, nil
 }

@@ -39,6 +39,11 @@ type MPCConfig struct {
 	// SmoothWeight is the R penalty on ‖ΔU‖² — the paper's power-demand
 	// smoothing knob (default 0; set > 0 to smooth).
 	SmoothWeight float64
+	// ForceDense disables the structure-exploiting solver path that large
+	// problems (nu·β2 ≥ qp.StructuredMinVars) select automatically. It is an
+	// escape hatch for debugging and the knob the comparison benchmarks use;
+	// results agree with the structured path to solver tolerance either way.
+	ForceDense bool
 }
 
 func (c *MPCConfig) defaults() error {
@@ -345,7 +350,8 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 		M: cd.theta, D: d, Wq: cd.wq, Wr: cd.wr,
 		Aeq: cd.aeq, Beq: beq,
 		Ain: cd.ain, Bin: bin,
-		X0: m.warmStart(nu, b2, cd.aeq, beq, cd.ain, bin),
+		AeqSparse: cd.aeqS, AinSparse: cd.ainS,
+		X0: m.warmStart(nu, b2, cd, beq, bin),
 	}
 	res, err := qp.SolveLSWith(&sc.ls, cd.form, cd.ws)
 	if err != nil {
@@ -402,7 +408,7 @@ func (m *MPC) Step(in StepInput) (*StepOutput, error) {
 // previous plan shifted one step (exact when demands and caps are
 // unchanged), else the zero move. qp.Solve re-checks feasibility and runs
 // its LP phase only if the returned point is infeasible too.
-func (m *MPC) warmStart(nu, b2 int, aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64) []float64 {
+func (m *MPC) warmStart(nu, b2 int, cd *condensed, beq, bin []float64) []float64 {
 	sc := &m.sc
 	sc.zero = mat.GrowVec(sc.zero, nu*b2)
 	zero := sc.zero
@@ -418,20 +424,23 @@ func (m *MPC) warmStart(nu, b2 int, aeq *mat.Dense, beq []float64, ain *mat.Dens
 		shifted[i] = 0
 	}
 	copy(shifted, m.prevZ[nu:])
-	if m.pointFeasible(shifted, aeq, beq, ain, bin) {
+	if m.pointFeasible(shifted, cd, beq, bin) {
 		return shifted
 	}
 	return zero
 }
 
-// pointFeasible checks Aeq·z = beq and Ain·z ≤ bin within tolerance.
-func (m *MPC) pointFeasible(z []float64, aeq *mat.Dense, beq []float64, ain *mat.Dense, bin []float64) bool {
+// pointFeasible checks Aeq·z = beq and Ain·z ≤ bin within tolerance,
+// through the compressed constraint rows when the condensed cache carries
+// them (the products are bit-identical to the dense ones; only the dropped
+// exact-zero terms differ).
+func (m *MPC) pointFeasible(z []float64, cd *condensed, beq, bin []float64) bool {
 	const tol = 1e-7
 	sc := &m.sc
-	if aeq != nil {
-		sc.feasBuf = mat.GrowVec(sc.feasBuf, aeq.Rows())
+	if cd.aeq != nil {
+		sc.feasBuf = mat.GrowVec(sc.feasBuf, cd.aeq.Rows())
 		v := sc.feasBuf
-		if err := mat.MulVecInto(v, aeq, z); err != nil {
+		if err := constraintMulVec(v, cd.aeq, cd.aeqS, z); err != nil {
 			return false
 		}
 		for i := range beq {
@@ -441,10 +450,10 @@ func (m *MPC) pointFeasible(z []float64, aeq *mat.Dense, beq []float64, ain *mat
 			}
 		}
 	}
-	if ain != nil {
-		sc.feasBuf = mat.GrowVec(sc.feasBuf, ain.Rows())
+	if cd.ain != nil {
+		sc.feasBuf = mat.GrowVec(sc.feasBuf, cd.ain.Rows())
 		v := sc.feasBuf
-		if err := mat.MulVecInto(v, ain, z); err != nil {
+		if err := constraintMulVec(v, cd.ain, cd.ainS, z); err != nil {
 			return false
 		}
 		for i := range bin {
@@ -454,6 +463,14 @@ func (m *MPC) pointFeasible(z []float64, aeq *mat.Dense, beq []float64, ain *mat
 		}
 	}
 	return true
+}
+
+// constraintMulVec computes dst = A·z through the sparse view when present.
+func constraintMulVec(dst []float64, dense *mat.Dense, sparse *mat.SparseRows, z []float64) error {
+	if sparse != nil {
+		return sparse.MulVecInto(dst, z)
+	}
+	return mat.MulVecInto(dst, dense, z)
 }
 
 func (m *MPC) validate(in StepInput) error {

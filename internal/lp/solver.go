@@ -46,12 +46,19 @@ type Instruments struct {
 //
 //lint:nocopy
 type Solver struct {
-	t *tableau
+	// Exactly one of t/rv is retained after a cold solve: the dense tableau
+	// for small default-bound problems, the revised state for large or
+	// bounded ones (same dispatch as the package-level Solve).
+	t  *tableau
+	rv *revised
 
 	// Constraint snapshot backing the warm-start eligibility check. Deep
 	// copies: callers may mutate their Problem between calls.
 	aeq, aub *mat.Dense
 	beq, bub []float64
+	lo, hi   []float64
+	hadLo    bool
+	hadHi    bool
 	nOrig    int
 
 	lastOptimal bool
@@ -102,13 +109,14 @@ func (s *Solver) Stats() (warm, cold int) { return s.warm, s.cold }
 // Reset drops all retained state; the next Solve runs cold.
 func (s *Solver) Reset() {
 	s.t = nil
+	s.rv = nil
 	s.lastOptimal = false
 }
 
 // canWarmStart reports whether p differs from the snapshot only in C and the
 // retained basis is still primal feasible.
 func (s *Solver) canWarmStart(p *Problem) bool {
-	if s.t == nil || !s.lastOptimal {
+	if (s.t == nil && s.rv == nil) || !s.lastOptimal {
 		return false
 	}
 	if len(p.C) != s.nOrig {
@@ -119,6 +127,25 @@ func (s *Solver) canWarmStart(p *Problem) bool {
 	}
 	if !vecEqual(p.Beq, s.beq) || !vecEqual(p.Bub, s.bub) {
 		return false
+	}
+	// Bounds shape the feasible region exactly like constraint rows do, so
+	// any change (including between nil and explicit) runs cold.
+	if (p.Lo != nil) != s.hadLo || (p.Hi != nil) != s.hadHi {
+		return false
+	}
+	if !vecEqual(p.Lo, s.lo[:len(p.Lo)]) || !vecEqual(p.Hi, s.hi[:len(p.Hi)]) {
+		return false
+	}
+	if s.rv != nil {
+		// Retained point must still be within bounds (numerical drift guard;
+		// with unchanged constraints it is the previous optimal point).
+		for r := 0; r < s.rv.m; r++ {
+			b := s.rv.basis[r]
+			if s.rv.x[b] < s.rv.lo[b]-feasTol || s.rv.x[b] > s.rv.hi[b]+feasTol {
+				return false
+			}
+		}
+		return true
 	}
 	// Retained basis must be primal feasible. With unchanged constraints the
 	// rhs column is exactly the previous optimal basic solution, so this only
@@ -132,10 +159,19 @@ func (s *Solver) canWarmStart(p *Problem) bool {
 	return true
 }
 
-// warmSolve re-optimizes phase 2 of the retained tableau with p's cost
-// vector. Returns nil if the warm iteration did not reach Optimal, in which
-// case the caller falls back to the cold path.
+// warmSolve re-optimizes the retained state (tableau or revised) with p's
+// cost vector. Returns nil if the warm iteration did not reach Optimal, in
+// which case the caller falls back to the cold path.
 func (s *Solver) warmSolve(p *Problem) *Result {
+	if s.rv != nil {
+		res := s.rv.resolve(p.C)
+		if res == nil {
+			s.lastOptimal = false
+			return nil
+		}
+		s.warm++
+		return res
+	}
 	t := s.t
 	copy(t.phase2Cost[:t.nOrig], p.C)
 	// phase2Cost's slack/artificial tail is zero by construction and never
@@ -158,12 +194,26 @@ func (s *Solver) warmSolve(p *Problem) *Result {
 	return res
 }
 
-// coldSolve runs the full two-phase method on a fresh tableau and snapshots
-// the constraints for future warm starts.
+// coldSolve runs the full two-phase method on fresh state — revised or
+// dense tableau by the same dispatch as the package-level Solve — and
+// snapshots the constraints for future warm starts.
 func (s *Solver) coldSolve(p *Problem) *Result {
-	t := newTableau(p)
-	res := t.run()
-	s.t = t
+	var res *Result
+	if methodFor(p, Auto) == Revised {
+		rv, err := newRevised(p)
+		if err != nil {
+			// Basis factorization breakdown; surface as an iteration-limited
+			// solve rather than panicking (cannot happen for well-posed input:
+			// the initial basis is triangular by construction).
+			return &Result{Status: IterationLimit}
+		}
+		res = rv.run()
+		s.rv, s.t = rv, nil
+	} else {
+		t := newTableau(p)
+		res = t.run()
+		s.t, s.rv = t, nil
+	}
 	s.nOrig = len(p.C)
 	s.snapshot(p)
 	s.lastOptimal = res.Status == Optimal
@@ -176,6 +226,10 @@ func (s *Solver) snapshot(p *Problem) {
 	s.aub = cloneOrNil(s.aub, p.Aub)
 	s.beq = append(s.beq[:0], p.Beq...)
 	s.bub = append(s.bub[:0], p.Bub...)
+	s.lo = append(s.lo[:0], p.Lo...)
+	s.hi = append(s.hi[:0], p.Hi...)
+	s.hadLo = p.Lo != nil
+	s.hadHi = p.Hi != nil
 }
 
 // cloneOrNil deep-copies src into dst's storage (reusing it when shapes

@@ -1,0 +1,347 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// naiveMulInto is the reference product: the exact pre-blocking MulInto
+// loop (i/k/j order, skip-zero on a's entries). The blocked kernel must be
+// bit-identical to it at every shape.
+func naiveMulInto(dst, a, b *Dense) *Dense {
+	dst = ReuseDense(dst, a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// naiveCholesky is the reference unblocked factorization, byte-for-byte the
+// pre-dispatch Cholesky.Factor loop.
+func naiveCholesky(a *Dense) (*Dense, int, error) {
+	n := a.rows
+	l := Zeros(n, n)
+	for j := 0; j < n; j++ {
+		d := a.data[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l.data[j*n+k] * l.data[j*n+k]
+		}
+		if d <= 0 {
+			return nil, j, ErrSingular
+		}
+		dj := math.Sqrt(d)
+		l.data[j*n+j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = s / dj
+		}
+	}
+	return l, -1, nil
+}
+
+// naiveLU is the reference unblocked factorization with partial pivoting.
+func naiveLU(a *Dense) (*Dense, []int, error) {
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		max := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.data[i*n+k]); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, nil, ErrSingular
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= m * lu.data[k*n+j]
+			}
+		}
+	}
+	return lu, piv, nil
+}
+
+// mixedDense fills a matrix with a mix of exact zeros (to hit the skip-zero
+// fast paths on tile boundaries) and quarter-integer values.
+func mixedDense(rng *rand.Rand, r, c int) *Dense {
+	d := Zeros(r, c)
+	for i := range d.data {
+		if rng.Intn(4) == 0 {
+			continue
+		}
+		d.data[i] = float64(rng.Intn(255)-127) / 4
+	}
+	return d
+}
+
+func TestBlockedMulIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Shapes straddle every tiling edge case: degenerate 1×1, dims far below
+	// one tile, exact tile multiples, off-by-one around mulTileK/mulTileJ,
+	// primes, and tall/wide extremes.
+	shapes := [][3]int{
+		{1, 1, 1},
+		{1, 1, 5},
+		{3, 2, 5},
+		{7, 13, 11},
+		{mulTileK, mulTileK, mulTileJ},
+		{mulTileK - 1, mulTileK + 1, mulTileJ - 1},
+		{mulTileK + 1, 2*mulTileK + 3, mulTileJ + 1},
+		{61, 67, 131},
+		{1, 200, 1},
+		{150, 1, 150},
+		{130, 130, 130},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := mixedDense(rng, m, k)
+		b := mixedDense(rng, k, n)
+		want := naiveMulInto(nil, a, b)
+		got := ReuseDense(nil, m, n)
+		blockedMulInto(got, a, b)
+		if !Equal(got, want) {
+			t.Errorf("blockedMulInto %dx%dx%d differs from naive loop", m, k, n)
+		}
+	}
+}
+
+func TestMulIntoDispatchBitIdentical(t *testing.T) {
+	// A product over the dispatch threshold must agree bit-for-bit with the
+	// naive loop: the public MulInto result cannot depend on which side of
+	// blockedMulMinFlops a shape lands on.
+	rng := rand.New(rand.NewSource(13))
+	m, k, n := 150, 60, 150 // 1.35M flops ≥ blockedMulMinFlops
+	if m*k*n < blockedMulMinFlops {
+		t.Fatalf("test shape %dx%dx%d below dispatch threshold", m, k, n)
+	}
+	a := mixedDense(rng, m, k)
+	b := mixedDense(rng, k, n)
+	got, err := MulInto(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, naiveMulInto(nil, a, b)) {
+		t.Error("MulInto over dispatch threshold differs from naive loop")
+	}
+}
+
+func TestBlockedCholeskyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Sizes straddle the cholBlockMin dispatch and the factorPanel /
+	// factorTileK boundaries (48·3=144, 64·2=128, non-multiples between).
+	for _, n := range []int{cholBlockMin, cholBlockMin + 1, 147, 160, 200} {
+		a := Zeros(n, n)
+		// SPD by construction: diagonally dominant symmetric.
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := float64(rng.Intn(255)-127) / 8
+				if rng.Intn(5) == 0 {
+					v = 0
+				}
+				a.data[i*n+j] = v
+				a.data[j*n+i] = v
+			}
+			a.data[i*n+i] = float64(n) * 40
+		}
+		want, _, err := naiveCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: reference factorization failed: %v", n, err)
+		}
+		var c Cholesky
+		if err := c.Factor(a); err != nil {
+			t.Fatalf("n=%d: Factor: %v", n, err)
+		}
+		if !Equal(c.l, want) {
+			t.Errorf("n=%d: blocked Cholesky factor differs from naive loop", n)
+		}
+	}
+}
+
+func TestBlockedCholeskyNonPDSameColumn(t *testing.T) {
+	// A non-PD matrix above the dispatch threshold must fail — at the same
+	// column the naive loop fails at, since the update chains are identical.
+	n := cholBlockMin + 20
+	a := Identity(n)
+	a.Set(100, 100, -1) // indefinite inside the third panel
+	_, wantCol, wantErr := naiveCholesky(a)
+	if wantErr == nil {
+		t.Fatal("reference factorization unexpectedly succeeded")
+	}
+	var c Cholesky
+	err := c.Factor(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor error = %v, want ErrSingular", err)
+	}
+	if want := "column 100"; wantCol != 100 || !strings.Contains(err.Error(), want) {
+		t.Errorf("Factor error %q, want failure at %s", err, want)
+	}
+}
+
+func TestBlockedLUBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{luBlockMin, luBlockMin + 1, 147, 160, 200} {
+		a := mixedDense(rng, n, n)
+		// Keep it comfortably nonsingular without losing pivot churn.
+		for i := 0; i < n; i++ {
+			a.data[i*n+i] += float64((i%7)-3) * 2
+		}
+		want, wantPiv, err := naiveLU(a)
+		if err != nil {
+			t.Fatalf("n=%d: reference factorization failed: %v", n, err)
+		}
+		var f LU
+		if err := f.Factor(a); err != nil {
+			t.Fatalf("n=%d: Factor: %v", n, err)
+		}
+		if !Equal(f.lu, want) {
+			t.Errorf("n=%d: blocked LU factor differs from naive loop", n)
+		}
+		for i := range wantPiv {
+			if f.piv[i] != wantPiv[i] {
+				t.Errorf("n=%d: pivot sequence diverged at %d: %d vs %d", n, i, f.piv[i], wantPiv[i])
+				break
+			}
+		}
+	}
+}
+
+func TestBlockedLUSingular(t *testing.T) {
+	n := luBlockMin + 10
+	a := Identity(n)
+	// Zero out one column beyond the first panel: exactly singular.
+	for i := 0; i < n; i++ {
+		a.Set(i, 77, 0)
+	}
+	a.Set(77, 77, 0)
+	var f LU
+	if err := f.Factor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor error = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUSolveTVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		a := randomWellConditioned(rng, n)
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatalf("n=%d: FactorLU: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		if err := f.SolveTVecInto(x, b); err != nil {
+			t.Fatalf("n=%d: SolveTVecInto: %v", n, err)
+		}
+		// Check the defining property Aᵀx = b directly.
+		got, err := MulTVec(a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if math.Abs(got[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+				t.Errorf("n=%d: (Aᵀx)[%d] = %g, want %g", n, i, got[i], b[i])
+			}
+		}
+		// And against the explicit transpose factorization.
+		ref, err := SolveVec(a.T(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if math.Abs(x[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+				t.Errorf("n=%d: x[%d] = %g, transpose-factor reference %g", n, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestLUSolveTVecAliased(t *testing.T) {
+	// dst may alias b: the scatter goes through internal scratch.
+	a := MustNew(2, 2, []float64{0, 2, 3, 1})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{9, 8}
+	want := make([]float64, 2)
+	if err := f.SolveTVecInto(want, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SolveTVecInto(b, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		//lint:ignore floateq aliased and unaliased solves run identical arithmetic
+		if b[i] != want[i] {
+			t.Errorf("aliased solve[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+// FuzzBlockedMulInto drives the blocked kernel directly (below the size
+// dispatch would ever send it) against the naive reference loop, reusing the
+// FuzzMulInto corpus encoding so both targets share seeds.
+func FuzzBlockedMulInto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 3, 2, 4, 8, 12, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte("\x05\x01\x05 mixed zero and nonzero entries \x00\xff\x80"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		next := func() byte {
+			if off < len(data) {
+				b := data[off]
+				off++
+				return b
+			}
+			return 0
+		}
+		// Dimensions up to ~3 tiles so boundary remainders get exercised
+		// without making individual fuzz executions slow.
+		m := int(next())%(2*mulTileK) + 1
+		k := int(next())%(2*mulTileK) + 1
+		n := int(next())%(mulTileJ+mulTileK) + 1
+		a := fuzzDense(data, &off, m, k)
+		b := fuzzDense(data, &off, k, n)
+		want := naiveMulInto(nil, a, b)
+		got := ReuseDense(nil, m, n)
+		blockedMulInto(got, a, b)
+		if !Equal(got, want) {
+			t.Fatalf("blockedMulInto %dx%dx%d differs from naive loop", m, k, n)
+		}
+	})
+}

@@ -129,6 +129,17 @@ func (m *Dense) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice into m's backing storage — no copy.
+// The view stays valid until m is reshaped (ReuseDense and friends may
+// reallocate the backing array). Callers must treat the view as read-only
+// unless they own m; writes through it are writes to m.
+func (m *Dense) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {

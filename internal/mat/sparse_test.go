@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sparseTestMatrix(rng *rand.Rand, r, c int) *Dense {
+	d := Zeros(r, c)
+	for i := range d.data {
+		// ~85% exact zeros, like the condensed constraint rows.
+		if rng.Intn(7) != 0 {
+			continue
+		}
+		d.data[i] = float64(rng.Intn(255)-127) / 4
+	}
+	return d
+}
+
+func TestSparseRowsMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, sh := range [][2]int{{0, 5}, {1, 1}, {3, 7}, {20, 45}, {50, 120}} {
+		r, c := sh[0], sh[1]
+		d := sparseTestMatrix(rng, r, c)
+		s := SparseRowsFrom(d)
+		if s.Rows() != r || s.Cols() != c {
+			t.Fatalf("%dx%d: shape %dx%d", r, c, s.Rows(), s.Cols())
+		}
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// RowDot and MulVecInto are bit-identical to the dense row dots:
+		// dropped entries are exact zeros contributing exact zeros in the
+		// same accumulation positions.
+		wantV := make([]float64, r)
+		if err := MulVecInto(wantV, d, x); err != nil {
+			t.Fatal(err)
+		}
+		gotV := make([]float64, r)
+		if err := s.MulVecInto(gotV, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < r; i++ {
+			//lint:ignore floateq sparse and dense dots visit the same nonzero products in the same order
+			if gotV[i] != wantV[i] {
+				t.Errorf("%dx%d: MulVecInto[%d] = %g, dense %g", r, c, i, gotV[i], wantV[i])
+			}
+			//lint:ignore floateq sparse and dense dots visit the same nonzero products in the same order
+			if got := s.RowDot(i, x); got != wantV[i] {
+				t.Errorf("%dx%d: RowDot(%d) = %g, dense %g", r, c, i, got, wantV[i])
+			}
+		}
+		// ScatterRowInto reconstructs each dense row exactly.
+		row := make([]float64, c)
+		for i := 0; i < r; i++ {
+			s.ScatterRowInto(row, i)
+			for j := 0; j < c; j++ {
+				//lint:ignore floateq scatter restores stored values verbatim
+				if row[j] != d.At(i, j) {
+					t.Errorf("%dx%d: scatter(%d)[%d] = %g, want %g", r, c, i, j, row[j], d.At(i, j))
+				}
+			}
+		}
+		// AddScaledRowInto accumulates a*row into a dense target.
+		if r > 0 {
+			acc := make([]float64, c)
+			s.AddScaledRowInto(acc, 0, 2.5)
+			for j := 0; j < c; j++ {
+				//lint:ignore floateq both sides compute 2.5*v once per stored entry
+				if acc[j] != 2.5*d.At(0, j) {
+					t.Errorf("%dx%d: addscaled[%d] = %g, want %g", r, c, j, acc[j], 2.5*d.At(0, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSparseRowsNNZ(t *testing.T) {
+	d := MustNew(2, 3, []float64{0, 1, 0, -2, 0, 3})
+	s := SparseRowsFrom(d)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", s.NNZ())
+	}
+	idx, val := s.RowNNZ(1)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 || val[0] != -2 || val[1] != 3 {
+		t.Fatalf("RowNNZ(1) = %v %v", idx, val)
+	}
+}

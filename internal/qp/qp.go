@@ -21,7 +21,10 @@
 // the H⁻¹aᵢ columns, the Schur-complement products and the Gram–Schmidt
 // independence decisions — so SolveWith can reuse them across calls. All
 // reuse is of bit-identical intermediate values; a solve with a warm
-// Workspace returns exactly the floats a cold solve would.
+// Workspace returns exactly the floats a cold solve would. The one
+// exception is structured mode (see Workspace.lastActive), which also
+// warm-starts the working set itself and so takes a shorter iteration
+// path than a cold solve — same unique minimizer, different rounding.
 package qp
 
 import (
@@ -57,9 +60,23 @@ type Problem struct {
 	// Ain, Bin define inequality constraints Ain·x ≤ bin.
 	Ain *mat.Dense
 	Bin []float64
+	// AeqSparse/AinSparse optionally carry the same constraint matrices in
+	// compressed-row form. When set they must match Aeq/Ain value for value;
+	// the solver then routes its hot row dot products (initial active-set
+	// detection, line search, Schur right-hand sides) through the sparse
+	// rows — bit-identical to the dense dots, O(nnz) instead of O(n) per
+	// row. The dense matrices are still required (Gram–Schmidt pruning and
+	// the H⁻¹aᵢ solves read full rows).
+	AeqSparse *mat.SparseRows
+	AinSparse *mat.SparseRows
 	// X0 is an optional feasible starting point. When nil a phase-1 LP is
 	// solved to find one.
 	X0 []float64
+
+	// form carries the structure-exploiting Hessian when the problem was
+	// lowered through a structured LSForm (see NewStructuredLSForm); H is
+	// nil in that mode. Set only by SolveLSWith.
+	form *LSForm
 }
 
 // Result is a solve outcome.
@@ -89,7 +106,9 @@ const (
 // H⁻¹aᵢ constraint columns, the Schur products aᵢᵀH⁻¹aⱼ and the factorized
 // Schur complements per working set, the Gram–Schmidt prune prefix and the
 // materialized constraint rows. Reuse therefore cannot change a solution
-// bit; it only skips recomputation.
+// bit; it only skips recomputation. Exception: in structured mode the
+// lastActive working-set hint shortens the iteration path, so a warm
+// structured solve agrees with a cold one only to rounding.
 //
 // Reusing a Workspace after H, Aeq or Ain changed produces wrong results —
 // build a fresh one instead. A nil *Workspace is accepted everywhere and
@@ -120,6 +139,20 @@ type Workspace struct {
 	// sfc caches the factorized Schur complement per kktStep call index —
 	// the same per-call-index replay idea as pruneState below.
 	sfc schurFactorCache
+	// lastActive records the final active inequality set of the previous
+	// successful solve (structured mode only). The next solve seeds its
+	// working set with the intersection of this hint and the rows
+	// geometrically active at the start point — a subset of the plain
+	// geometric seeding, so the primal invariant (working set ⊆ active at x)
+	// still holds and a wrongly omitted row simply re-enters through the
+	// line search. Without the hint, a steady-state re-solve re-activates
+	// every boundary row at the warm start (~n of them at planet scale) and
+	// then spends several bulk-drop iterations rediscovering the optimal
+	// set; with it, the re-solve terminates after one stationarity check.
+	// Structured-only so paper-scale solves keep their exact legacy
+	// iteration path (and bit-identical checksums).
+	lastActive   []bool
+	lastActiveOK bool
 	// prune is the incremental Gram–Schmidt state of pruneDependent.
 	prune pruneState
 	// aeqRows/ainRows are the materialized constraint rows (Dense.Row
@@ -169,22 +202,24 @@ func (ws *Workspace) SetInstruments(in Instruments) { ws.instr = in }
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-// rows materializes (and caches) the constraint rows of p.
+// rows materializes (and caches) the constraint rows of p as views into the
+// constraint matrices — no copies, so planet-scale row sets cost pointers
+// only. The views share the matrices' backing storage, which is safe under
+// the workspace contract: Aeq/Ain are fixed for the workspace's lifetime
+// and the solver never writes through a row.
 func (ws *Workspace) rows(p *Problem) (aeqRows, ainRows [][]float64) {
 	if ws.aeqRows == nil && p.Aeq != nil {
 		//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
 		ws.aeqRows = make([][]float64, p.Aeq.Rows())
 		for i := range ws.aeqRows {
-			//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
-			ws.aeqRows[i] = p.Aeq.Row(i)
+			ws.aeqRows[i] = p.Aeq.RowView(i)
 		}
 	}
 	if ws.ainRows == nil && p.Ain != nil {
 		//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
 		ws.ainRows = make([][]float64, p.Ain.Rows())
 		for i := range ws.ainRows {
-			//lint:ignore hotalloc one-time row-cache fill; every later solve reuses the rows
-			ws.ainRows[i] = p.Ain.Row(i)
+			ws.ainRows[i] = p.Ain.RowView(i)
 		}
 	}
 	return ws.aeqRows, ws.ainRows
@@ -192,12 +227,26 @@ func (ws *Workspace) rows(p *Problem) (aeqRows, ainRows [][]float64) {
 
 // Validate checks dimensional consistency.
 func (p *Problem) Validate() error {
-	if p.H == nil || p.H.Rows() == 0 {
-		return fmt.Errorf("nil or empty Hessian: %w", ErrBadProblem)
+	var n int
+	if p.form != nil && p.form.structured() {
+		if p.H != nil {
+			return fmt.Errorf("both dense and structured Hessian set: %w", ErrBadProblem)
+		}
+		n = p.form.vars()
+	} else {
+		if p.H == nil || p.H.Rows() == 0 {
+			return fmt.Errorf("nil or empty Hessian: %w", ErrBadProblem)
+		}
+		n = p.H.Rows()
+		if p.H.Cols() != n {
+			return fmt.Errorf("Hessian %dx%d not square: %w", p.H.Rows(), p.H.Cols(), ErrBadProblem)
+		}
 	}
-	n := p.H.Rows()
-	if p.H.Cols() != n {
-		return fmt.Errorf("Hessian %dx%d not square: %w", p.H.Rows(), p.H.Cols(), ErrBadProblem)
+	if p.AeqSparse != nil && (p.Aeq == nil || p.AeqSparse.Rows() != p.Aeq.Rows() || p.AeqSparse.Cols() != p.Aeq.Cols()) {
+		return fmt.Errorf("AeqSparse does not match Aeq: %w", ErrBadProblem)
+	}
+	if p.AinSparse != nil && (p.Ain == nil || p.AinSparse.Rows() != p.Ain.Rows() || p.AinSparse.Cols() != p.Ain.Cols()) {
+		return fmt.Errorf("AinSparse does not match Ain: %w", ErrBadProblem)
 	}
 	if len(p.Q) != n {
 		return fmt.Errorf("q has length %d, want %d: %w", len(p.Q), n, ErrBadProblem)
@@ -246,7 +295,7 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 		//lint:ignore hotalloc cold path: steady-state callers pass a warm workspace
 		ws = NewWorkspace() // per-call scratch: no reuse, same arithmetic
 	}
-	n := p.H.Rows()
+	n := p.dim()
 	ws.x0buf = mat.GrowVec(ws.x0buf, n)
 	x := ws.x0buf
 	for i := range x {
@@ -298,7 +347,16 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	// H is semidefinite or visibly ill-conditioned, and as a retry if the
 	// Schur-driven loop stalls (severe conditioning can pass the cheap
 	// estimate yet still produce meaningless directions).
-	if !ws.hReady {
+	//
+	// A structured problem carries its factorization inside the form (the
+	// prefactored capacitance matrix); it has no dense fallback — the dense
+	// KKT matrix it would factor is exactly the n×n object the structured
+	// path exists to avoid. Degenerate working sets are handled by dropAny.
+	var hs hSolver
+	if p.form != nil && p.form.structured() {
+		hs = p.form
+		ws.instr.FactorReuse.Inc()
+	} else if !ws.hReady {
 		ws.instr.Factorizations.Inc()
 		//lint:ignore hotalloc factored once per workspace, reused by every later solve
 		hChol, _ := mat.FactorCholesky(p.H)
@@ -309,8 +367,11 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 	} else {
 		ws.instr.FactorReuse.Inc()
 	}
-	res, err := activeSetLoop(p, ws.hChol, x, n, mEq, mIn, ws)
-	if errors.Is(err, ErrIterationLimit) && ws.hChol != nil {
+	if hs == nil && ws.hChol != nil {
+		hs = ws.hChol
+	}
+	res, err := activeSetLoop(p, hs, x, n, mEq, mIn, ws)
+	if errors.Is(err, ErrIterationLimit) && ws.hChol != nil && (p.form == nil || !p.form.structured()) {
 		res, err = activeSetLoop(p, nil, x, n, mEq, mIn, ws)
 	}
 	if res != nil {
@@ -320,8 +381,8 @@ func SolveWith(p *Problem, ws *Workspace) (*Result, error) {
 }
 
 // activeSetLoop runs the primal active-set iteration from the feasible
-// point x0 (copied), using the Schur path when hChol is non-nil.
-func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn int, ws *Workspace) (*Result, error) {
+// point x0 (copied), using the Schur path when hs is non-nil.
+func activeSetLoop(p *Problem, hs hSolver, x0 []float64, n, mEq, mIn int, ws *Workspace) (*Result, error) {
 	ws.xbuf = mat.GrowVec(ws.xbuf, len(x0))
 	x := ws.xbuf
 	copy(x, x0)
@@ -336,9 +397,11 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 	for i := range active {
 		active[i] = false
 	}
+	useHint := p.form != nil && p.form.structured() &&
+		ws.lastActiveOK && len(ws.lastActive) == mIn
 	for i := 0; i < mIn; i++ {
-		if math.Abs(mat.Dot(ainRows[i], x)-p.Bin[i]) <= featol {
-			active[i] = true
+		if math.Abs(rowDotID(p, mEq, mEq+i, ainRows[i], x)-p.Bin[i]) <= featol {
+			active[i] = !useHint || ws.lastActive[i]
 		}
 	}
 	ws.prune.beginSolve()
@@ -348,7 +411,7 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 	maxIters := 100 + 20*(n+mEq+mIn)
 	fullSteps := 0
 	for iter := 0; iter < maxIters; iter++ {
-		dir, lam, err := kktStep(p, hChol, ws, aeqRows, ainRows, x, active, mEq)
+		dir, lam, err := kktStep(p, hs, ws, aeqRows, ainRows, x, active, mEq)
 		if err != nil {
 			// Degenerate working set: drop one active constraint and retry.
 			if dropAny(active) {
@@ -381,6 +444,15 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 				li++
 			}
 			if !dropped {
+				if p.form != nil && p.form.structured() {
+					if cap(ws.lastActive) < mIn {
+						//lint:ignore hotalloc grow-only hint buffer: allocates once per problem size
+						ws.lastActive = make([]bool, mIn)
+					}
+					ws.lastActive = ws.lastActive[:mIn]
+					copy(ws.lastActive, active)
+					ws.lastActiveOK = true
+				}
 				ws.res = Result{
 					X:          x,
 					Obj:        ws.objective(p, x),
@@ -400,11 +472,11 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 				continue
 			}
 			row := ainRows[i]
-			ad := mat.Dot(row, dir)
+			ad := rowDotID(p, mEq, mEq+i, row, dir)
 			if ad <= featol {
 				continue
 			}
-			slack := p.Bin[i] - mat.Dot(row, x)
+			slack := p.Bin[i] - rowDotID(p, mEq, mEq+i, row, x)
 			if slack < 0 {
 				slack = 0
 			}
@@ -433,12 +505,12 @@ func activeSetLoop(p *Problem, hChol *mat.Cholesky, x0 []float64, n, mEq, mIn in
 //	[Aw  0 ] [λ] = [   0   ]
 //
 // returning the step p and multipliers λ (equalities first, then active
-// inequalities in index order). With a Cholesky factor of H available the
-// system is solved via the Schur complement S = Aw·H⁻¹·Awᵀ (H is factored
-// once per workspace, not per iteration); otherwise a dense KKT
-// factorization is used.
-func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows [][]float64, x []float64, active []bool, mEq int) (dir, lam []float64, err error) {
-	n := p.H.Rows()
+// inequalities in index order). With an H⁻¹ apply available (dense Cholesky
+// factor or structured Woodbury form) the system is solved via the Schur
+// complement S = Aw·H⁻¹·Awᵀ (H is factored once per workspace, not per
+// iteration); otherwise a dense KKT factorization is used.
+func kktStep(p *Problem, hs hSolver, ws *Workspace, aeqRows, ainRows [][]float64, x []float64, active []bool, mEq int) (dir, lam []float64, err error) {
+	n := p.dim()
 	workRows := ws.workRows[:0]
 	workIDs := ws.workIDs[:0]
 	for i := 0; i < mEq; i++ {
@@ -458,17 +530,23 @@ func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows []
 	ws.workRows, ws.workIDs = workRows, workIDs
 	ws.grad = mat.GrowVec(ws.grad, n)
 	grad := ws.grad
-	if err := mat.MulVecInto(grad, p.H, x); err != nil {
+	if err := p.hMulVecInto(grad, x); err != nil {
 		return nil, nil, err
 	}
 	for i := 0; i < n; i++ {
 		grad[i] += p.Q[i]
 	}
 
-	if hChol != nil {
-		dir, lam, err = schurStep(hChol, ws, workRows, workIDs, grad, n)
+	if hs != nil {
+		dir, lam, err = schurStep(p, hs, ws, workRows, workIDs, grad, n, mEq)
 		if err == nil {
 			return dir, lam, nil
+		}
+		if p.form != nil && p.form.structured() {
+			// No dense fallback in structured mode: materializing the n×n
+			// KKT matrix is the cost the structured path exists to avoid.
+			// The caller's dropAny handles degenerate working sets.
+			return nil, nil, err
 		}
 		// Ill-conditioned Schur complement: fall through to the dense path.
 	}
@@ -477,14 +555,14 @@ func kktStep(p *Problem, hChol *mat.Cholesky, ws *Workspace, aeqRows, ainRows []
 }
 
 // schurStep solves the KKT system via the Schur complement of the cached
-// Cholesky factorization of H.
-func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs []int, grad []float64, n int) (dir, lam []float64, err error) {
+// H⁻¹ apply (dense Cholesky factor or structured Woodbury form).
+func schurStep(p *Problem, hs hSolver, ws *Workspace, workRows [][]float64, workIDs []int, grad []float64, n, mEq int) (dir, lam []float64, err error) {
 	// y = −H⁻¹·grad is the unconstrained Newton step.
 	ws.negGrad = mat.GrowVec(ws.negGrad, n)
 	mat.ScaleVecInto(ws.negGrad, -1, grad)
 	ws.y = mat.GrowVec(ws.y, n)
 	y := ws.y
-	if err := hChol.SolveVecInto(y, ws.negGrad); err != nil {
+	if err := hs.SolveVecInto(y, ws.negGrad); err != nil {
 		return nil, nil, fmt.Errorf("qp: H solve: %w", err)
 	}
 	k := len(workRows)
@@ -507,7 +585,7 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 		}
 		//lint:ignore hotalloc cache miss: the vector must outlive the call inside the cache
 		zi := make([]float64, n)
-		if err := hChol.SolveVecInto(zi, row); err != nil {
+		if err := hs.SolveVecInto(zi, row); err != nil {
 			return nil, nil, fmt.Errorf("qp: H solve: %w", err)
 		}
 		ws.zByID[workIDs[i]] = zi
@@ -532,7 +610,7 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 				idx := workIDs[i]*nIDs + workIDs[j]
 				v := ws.schurV[idx]
 				if !ws.schurSet[idx] {
-					v = mat.Dot(workRows[i], z[j])
+					v = rowDotID(p, mEq, workIDs[i], workRows[i], z[j])
 					ws.schurV[idx] = v
 					ws.schurSet[idx] = true
 				}
@@ -550,7 +628,7 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	ws.rhs = mat.GrowVec(ws.rhs, k)
 	rhs := ws.rhs
 	for i, row := range workRows {
-		rhs[i] = mat.Dot(row, y)
+		rhs[i] = rowDotID(p, mEq, workIDs[i], row, y)
 	}
 	ws.lamBuf = mat.GrowVec(ws.lamBuf, k)
 	lam = ws.lamBuf
@@ -560,6 +638,26 @@ func schurStep(hChol *mat.Cholesky, ws *Workspace, workRows [][]float64, workIDs
 	// dir = y − Z·λ.
 	ws.dirBuf = mat.GrowVec(ws.dirBuf, n)
 	dir = ws.dirBuf
+	if p.form != nil && p.form.structured() {
+		// Equivalent form dir = H⁻¹(−grad − Awᵀ·λ): one sparse accumulation
+		// plus one extra Woodbury apply, O(nnz(Aw) + mn). The generic sweep
+		// below walks k cached Z columns of n doubles each — at C50×N20
+		// that is ~70 MB of traffic per iteration, which dominated the warm
+		// step. ws.negGrad still holds −grad from the unconstrained solve.
+		acc := ws.negGrad
+		for i, id := range workIDs {
+			li := lam[i]
+			//lint:ignore floateq skip-zero fast path is exact by design: only true zeros skip
+			if li == 0 {
+				continue
+			}
+			rowAxpyID(p, mEq, id, workRows[i], -li, acc)
+		}
+		if err := hs.SolveVecInto(dir, acc); err != nil {
+			return nil, nil, fmt.Errorf("qp: H solve: %w", err)
+		}
+		return dir, lam, nil
+	}
 	copy(dir, y)
 	for i := 0; i < k; i++ {
 		li := lam[i]
@@ -790,8 +888,8 @@ func (ws *Workspace) activeList(active []bool) []int {
 // objective is Problem.Objective evaluated through workspace scratch: the
 // same Hx product and dot products, without the fresh Hx vector.
 func (ws *Workspace) objective(p *Problem, x []float64) float64 {
-	ws.hxBuf = mat.GrowVec(ws.hxBuf, p.H.Rows())
-	if err := mat.MulVecInto(ws.hxBuf, p.H, x); err != nil {
+	ws.hxBuf = mat.GrowVec(ws.hxBuf, p.dim())
+	if err := p.hMulVecInto(ws.hxBuf, x); err != nil {
 		return math.NaN()
 	}
 	return 0.5*mat.Dot(x, ws.hxBuf) + mat.Dot(p.Q, x)
@@ -801,13 +899,14 @@ func (ws *Workspace) objective(p *Problem, x []float64) float64 {
 // materialized rows: the same per-row dot products, no Ax vector.
 func (ws *Workspace) feasible(p *Problem, x []float64, tol float64) bool {
 	aeqRows, ainRows := ws.rows(p)
+	mEq := len(aeqRows)
 	for i, row := range aeqRows {
-		if math.Abs(mat.Dot(row, x)-p.Beq[i]) > tol {
+		if math.Abs(rowDotID(p, mEq, i, row, x)-p.Beq[i]) > tol {
 			return false
 		}
 	}
 	for i, row := range ainRows {
-		if mat.Dot(row, x) > p.Bin[i]+tol {
+		if rowDotID(p, mEq, mEq+i, row, x) > p.Bin[i]+tol {
 			return false
 		}
 	}
@@ -845,7 +944,7 @@ func feasible(p *Problem, x []float64, tol float64) bool {
 // elastic slacks on the inequalities, minimizing total slack. A zero optimum
 // yields a feasible x.
 func findFeasible(p *Problem) ([]float64, error) {
-	n := p.H.Rows()
+	n := p.dim()
 	mIn := 0
 	if p.Ain != nil {
 		mIn = p.Ain.Rows()
@@ -916,7 +1015,11 @@ type LSProblem struct {
 	Beq []float64
 	Ain *mat.Dense
 	Bin []float64
-	X0  []float64
+	// AeqSparse/AinSparse optionally mirror Aeq/Ain in compressed-row form;
+	// see Problem.AeqSparse for the contract.
+	AeqSparse *mat.SparseRows
+	AinSparse *mat.SparseRows
+	X0        []float64
 }
 
 // Lower converts the least-squares formulation to a quadratic program.
@@ -982,14 +1085,31 @@ func (l *LSProblem) linearTerm() ([]float64, error) {
 	return mat.ScaleVec(-2, mtd), nil
 }
 
-// LSForm caches the data-independent part of lowering an LSProblem: the
-// Hessian H = 2(MᵀWqM + Wr) for a fixed design matrix and fixed weights.
-// The linear term q = −2·MᵀWq·d varies with the residual and is recomputed
-// per solve. The cached H is produced by the exact Lower arithmetic, so
-// solving through a form is bit-identical to solving without one.
+// LSForm caches the data-independent part of lowering an LSProblem. In
+// dense mode (NewLSForm) that is the Hessian H = 2(MᵀWqM + Wr) for a fixed
+// design matrix and fixed weights; in structured mode (NewStructuredLSForm)
+// H is never materialized — the form holds the scaled design matrix, the
+// diagonal D = 2·Wr and the prefactored capacitance matrix of the Woodbury
+// identity instead (see structured.go). The linear term q = −2·MᵀWq·d
+// varies with the residual and is recomputed per solve. The dense form's
+// cached H is produced by the exact Lower arithmetic, so solving through it
+// is bit-identical to solving without one; the structured form is a
+// different algorithm and agrees to solver tolerance, not bitwise.
+//
+// A dense form is immutable and shareable; a structured form carries solve
+// scratch and follows the Workspace concurrency contract (one goroutine).
 type LSForm struct {
 	m *mat.Dense
 	h *mat.Dense
+
+	// Structured mode (h == nil, sm != nil):
+	sm   *mat.Dense // diag(√wq)·M
+	diag []float64  // D = 2·wr
+	dinv []float64  // 1/D
+	// kchol factors K = ½I + SM·D⁻¹·SMᵀ, the Woodbury capacitance matrix.
+	kchol mat.Cholesky
+	// tm/tn are m- and n-length solve scratch.
+	tm, tn []float64
 }
 
 // NewLSForm precomputes the lowering of (M, Wq, Wr).
@@ -1046,7 +1166,9 @@ func SolveLSWith(l *LSProblem, form *LSForm, ws *Workspace) (*Result, error) {
 		H: form.h, Q: q,
 		Aeq: l.Aeq, Beq: l.Beq,
 		Ain: l.Ain, Bin: l.Bin,
-		X0: l.X0,
+		AeqSparse: l.AeqSparse, AinSparse: l.AinSparse,
+		X0:   l.X0,
+		form: form,
 	}
 	return SolveWith(&ws.prob, ws)
 }
