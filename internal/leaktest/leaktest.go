@@ -1,0 +1,159 @@
+// Package leaktest is the runtime backstop for the static goleak analyzer
+// (internal/lint): where goleak proves a termination path exists at the
+// spawn site, Check proves the path was actually taken. It diffs the
+// process's goroutine profile around a workload — in the spirit of
+// internal/alloctest, which pins the allocation contract the hotalloc
+// analyzer approximates statically — and fails the test on any goroutine
+// that survives the workload.
+//
+// Goroutine exit is asynchronous: a worker that has been released (its
+// channel closed, its context canceled) may not have left its stack by the
+// time the workload returns. Check therefore re-samples the profile with
+// short exponential-backoff sleeps and only reports goroutines that remain
+// after the profile stabilizes, so tests stay deterministic without the
+// workload having to over-synchronize its shutdown.
+package leaktest
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB that Check needs. Taking the subset (and
+// not *testing.T) keeps the harness testable: leaktest's own tests hand
+// Check a recorder to prove that real leaks fail and clean runs pass.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// maxStabilizeWait bounds the total time Check spends waiting for spawned
+// goroutines to finish exiting before declaring them leaked.
+const maxStabilizeWait = 2 * time.Second
+
+// Check runs fn and fails t for every goroutine that fn started (directly
+// or transitively) and that is still running once the goroutine profile
+// stabilizes. Goroutines that existed before fn ran are never reported, and
+// runtime- or testing-internal goroutines (GC workers, parallel test
+// runners) are filtered out, so Check composes with t.Parallel neighbors.
+func Check(t TB, fn func()) {
+	t.Helper()
+	before := goroutineIDs()
+	fn()
+	var leaked []goroutine
+	for wait, total := time.Millisecond, time.Duration(0); ; {
+		leaked = leakedSince(before)
+		if len(leaked) == 0 {
+			return
+		}
+		if total >= maxStabilizeWait {
+			break
+		}
+		time.Sleep(wait)
+		total += wait
+		if wait *= 2; wait > 100*time.Millisecond {
+			wait = 100 * time.Millisecond
+		}
+	}
+	for _, g := range leaked {
+		t.Errorf("leaktest: leaked goroutine %d [%s]:\n%s", g.id, g.state, g.stack)
+	}
+}
+
+// goroutine is one parsed entry of the all-goroutine stack dump.
+type goroutine struct {
+	id    int
+	state string
+	stack string
+}
+
+// goroutineIDs snapshots the IDs of every currently-live goroutine.
+func goroutineIDs() map[int]bool {
+	ids := make(map[int]bool)
+	for _, g := range profile() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// leakedSince returns the goroutines that are live now, were not in the
+// before snapshot, and are not ignorable infrastructure.
+func leakedSince(before map[int]bool) []goroutine {
+	var leaked []goroutine
+	for _, g := range profile() {
+		if before[g.id] || ignorable(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// ignorable reports whether a goroutine belongs to the runtime or the
+// testing framework rather than the workload under test: profile writers,
+// parallel sibling tests, and timer/GC service goroutines all come and go
+// on their own schedule and would make the diff flaky.
+func ignorable(g goroutine) bool {
+	for _, frame := range []string{
+		"testing.tRunner",
+		"testing.(*T).Run",
+		"testing.runFuzzing",
+		"testing.runTests",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime/pprof.",
+		"leaktest.profile",
+	} {
+		if strings.Contains(g.stack, frame) {
+			return true
+		}
+	}
+	return false
+}
+
+// profile captures and parses the all-goroutine stack dump.
+func profile() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var gs []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if g, ok := parseGoroutine(block); ok {
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+// parseGoroutine parses one "goroutine N [state]:\n<frames>" block.
+func parseGoroutine(block string) (goroutine, bool) {
+	header, rest, found := strings.Cut(block, "\n")
+	if !found || !strings.HasPrefix(header, "goroutine ") {
+		return goroutine{}, false
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 3 {
+		return goroutine{}, false
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return goroutine{}, false
+	}
+	state := strings.Trim(strings.Join(fields[2:], " "), "[]:")
+	return goroutine{id: id, state: state, stack: rest}, true
+}
+
+// String renders a goroutine the way failures print it, for debugging.
+func (g goroutine) String() string {
+	return fmt.Sprintf("goroutine %d [%s]", g.id, g.state)
+}

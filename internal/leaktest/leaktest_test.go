@@ -1,0 +1,85 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Check failures so the harness can be tested both ways:
+// a clean workload must stay silent and a leak must be reported.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+func TestCheckPassesCleanWorkload(t *testing.T) {
+	var rec recorder
+	Check(&rec, func() {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+		}()
+		<-done
+	})
+	if len(rec.failures) != 0 {
+		t.Fatalf("clean workload reported %d leaks", len(rec.failures))
+	}
+}
+
+func TestCheckWaitsForSlowExit(t *testing.T) {
+	// A goroutine that is released but takes a few milliseconds to unwind
+	// must not be reported: the stabilization retries absorb it.
+	var rec recorder
+	Check(&rec, func() {
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+		}()
+	})
+	if len(rec.failures) != 0 {
+		t.Fatalf("slow-exit goroutine reported as %d leaks", len(rec.failures))
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	var rec recorder
+	block := make(chan struct{})
+	defer close(block)
+	Check(&rec, func() {
+		go func() {
+			<-block // parked until the test exits: a real leak from Check's view
+		}()
+	})
+	if len(rec.failures) == 0 {
+		t.Fatal("Check missed a parked goroutine")
+	}
+	for _, f := range rec.failures {
+		if !strings.Contains(f, "leaked goroutine") {
+			t.Errorf("failure %q does not name the leak", f)
+		}
+	}
+}
+
+func TestProfileSeesSelf(t *testing.T) {
+	gs := profile()
+	if len(gs) == 0 {
+		t.Fatal("profile parsed no goroutines")
+	}
+	found := false
+	for _, g := range gs {
+		if strings.Contains(g.stack, "leaktest.TestProfileSeesSelf") {
+			found = true
+		}
+		if g.id <= 0 {
+			t.Errorf("parsed non-positive goroutine id in %s", g)
+		}
+	}
+	if !found {
+		t.Error("profile does not contain the test's own goroutine")
+	}
+}
