@@ -272,6 +272,12 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 		<-baseDone
 		return baseErr
 	}
+	// The explicit finishBaseline calls below handle the error paths; this
+	// deferred join (idempotent: baseCh is nilled on first close, baseDone
+	// stays closed) covers panics out of demandAt, Step, or recordControl,
+	// which would otherwise strand the baseline worker parked on baseCh
+	// forever.
+	defer finishBaseline() //nolint:errcheck // the panic in flight takes precedence
 
 	for k := 0; k < sc.Steps; k++ {
 		if err := ctx.Err(); err != nil {
