@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/leaktest"
+)
+
+// TestRunAllContextCancelMidDispatchDoesNotLeak pins the worker-side cancellation
+// check: when an experiment cancels the context, no later experiment may
+// start — even one the dispatch select already committed to the jobs
+// channel (both select cases can be ready at once, and the runtime picks
+// either). One worker makes the schedule deterministic: everything after
+// the canceling experiment runs strictly after the cancel, so a single
+// started experiment is a failure. Repeated runs cover the select race;
+// leaktest covers the worker-pool join.
+func TestRunAllContextCancelMidDispatchDoesNotLeak(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		leaktest.Check(t, func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			started := 0
+			exps := make([]Experiment, 6)
+			exps[0] = Experiment{ID: "canceler", Run: func() (*Output, error) {
+				cancel()
+				return &Output{}, nil
+			}}
+			for i := 1; i < len(exps); i++ {
+				exps[i] = Experiment{ID: "after-cancel", Run: func() (*Output, error) {
+					started++
+					return &Output{}, nil
+				}}
+			}
+			results := RunAllContext(ctx, exps, 1)
+			if started != 0 {
+				t.Fatalf("%d experiment(s) started after cancellation", started)
+			}
+			if results[0].Err != nil || results[0].Output == nil {
+				t.Fatalf("canceling experiment: err=%v output=%v", results[0].Err, results[0].Output)
+			}
+			for i := 1; i < len(results); i++ {
+				if !errors.Is(results[i].Err, context.Canceled) {
+					t.Fatalf("results[%d].Err = %v, want context.Canceled", i, results[i].Err)
+				}
+				if results[i].Output != nil {
+					t.Fatalf("results[%d] has an output despite cancellation", i)
+				}
+			}
+		})
+	}
+}

@@ -51,6 +51,14 @@ func RunAllContext(ctx context.Context, exps []Experiment, workers int) []RunRes
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				// The dispatch select below commits a job even when ctx is
+				// already done (both cases ready, runtime picks either), so
+				// the no-new-experiment-after-cancel guarantee needs this
+				// second check on the receiving side.
+				if err := ctx.Err(); err != nil {
+					results[i] = RunResult{Experiment: exps[i], Err: err}
+					continue
+				}
 				out, err := exps[i].Run()
 				results[i] = RunResult{Experiment: exps[i], Output: out, Err: err}
 			}
