@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -272,6 +273,7 @@ func checkSeries(sum *Summary, path string) error {
 	var mismatches []string
 	compared := 0
 	for _, b := range sum.Benchmarks {
+		//lint:ignore maporder mismatches are sorted before joining into the error
 		for unit, v := range b.Metrics {
 			if !checksumUnit(unit) {
 				continue
@@ -289,6 +291,7 @@ func checkSeries(sum *Summary, path string) error {
 		}
 	}
 	if len(mismatches) > 0 {
+		sort.Strings(mismatches)
 		return fmt.Errorf("check-series: %d checksum(s) drifted from %s:\n  %s",
 			len(mismatches), path, strings.Join(mismatches, "\n  "))
 	}

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // HotallocAnalyzer enforces the zero-allocation steady-state contract on
@@ -47,6 +48,7 @@ func runHotalloc(prog *Program) []Diagnostic {
 	var queue []string
 	rootOf := make(map[string]string) // visited func key -> root key that reached it
 	hotsafe := make(map[string]bool)
+	//lint:ignore maporder the queue is sorted below so root attribution is deterministic
 	for key, fi := range prog.funcs {
 		for _, d := range docDirectives(fi.Decl.Doc) {
 			switch d.Verb {
@@ -58,6 +60,10 @@ func runHotalloc(prog *Program) []Diagnostic {
 			}
 		}
 	}
+	// When a function is reachable from two roots, whichever root dequeues
+	// it first owns the attribution in its messages — sort so that winner
+	// doesn't depend on map iteration order.
+	sort.Strings(queue)
 
 	for len(queue) > 0 {
 		key := queue[0]
