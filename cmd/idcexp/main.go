@@ -131,6 +131,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 // stack's shared one via experiments.SetMetrics — the endpoint then
 // aggregates the whole run, by explicit opt-in rather than process-global
 // state.
+//
+//lint:nocx the server lives until the returned stop closure is called
 func serveMetrics(addr string) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -140,6 +142,7 @@ func serveMetrics(addr string) (func(), error) {
 	reg.PublishExpvar("idc")
 	experiments.SetMetrics(reg)
 	srv := &http.Server{Handler: reg.ServeMux()}
+	//lint:ignore goleak Serve returns ErrServerClosed when the stop closure calls srv.Close
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	fmt.Fprintf(os.Stderr, "idcexp: serving metrics on http://%s/metrics\n", ln.Addr())
 	return func() { srv.Close() }, nil

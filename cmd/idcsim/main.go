@@ -259,6 +259,8 @@ func emitMaybePartial(ctx context.Context, sc sim.Scenario, emit func(io.Writer,
 // (Prometheus text) and /debug/vars (expvar JSON) — and returns it so the
 // scenario's controller can be wired into it (controllers default to
 // private registries; sharing is explicit via Scenario.Metrics).
+//
+//lint:nocx the server lives until the returned stop closure is called
 func serveMetrics(addr string) (*obs.Registry, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -267,6 +269,7 @@ func serveMetrics(addr string) (*obs.Registry, func(), error) {
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("idc")
 	srv := &http.Server{Handler: reg.ServeMux()}
+	//lint:ignore goleak Serve returns ErrServerClosed when the stop closure calls srv.Close
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	fmt.Fprintf(os.Stderr, "idcsim: serving metrics on http://%s/metrics\n", ln.Addr())
 	return reg, func() { srv.Close() }, nil

@@ -36,6 +36,7 @@ func runAliasing(prog *Program) []Diagnostic {
 
 	// Build the contract table from doc-comment annotations.
 	contracts := make(map[string]*aliasContract)
+	//lint:ignore maporder findings carry positions and Run sorts them centrally
 	for key, fi := range prog.funcs {
 		for _, d := range docDirectives(fi.Decl.Doc) {
 			if d.Verb != "noalias" {

@@ -16,13 +16,20 @@ import (
 //	                                         traverse into it from hot roots
 //	//lint:nocopy              (doc comment) struct must not be copied by value
 //	//lint:versioned bump      (doc comment) field writes require the bump method
+//	//lint:nocx why            (doc comment) function's concurrency is deliberately
+//	                                         not context-scoped; ctxflow accepts it
 //	//lint:allow floateq       (anywhere)    suppress an analyzer file-wide
 //	//lint:ignore hotalloc why (anywhere)    suppress findings on this/next line
+//
+// allow and ignore must name real analyzers, and every suppression-shaped
+// directive (ignore, nocx, hotsafe) must carry a non-empty reason — a
+// suppression that explains nothing, or suppresses a misspelled analyzer,
+// is a finding itself.
 const directivePrefix = "//lint:"
 
 // directive is one parsed //lint: comment.
 type directive struct {
-	Verb string   // "noalias", "hotpath", "hotsafe", "nocopy", "versioned", "allow", "ignore"
+	Verb string   // "noalias", "hotpath", "hotsafe", "nocopy", "versioned", "nocx", "allow", "ignore"
 	Args []string // verb-specific operands
 	Pos  token.Pos
 }
@@ -109,6 +116,10 @@ func parseDirective(c *ast.Comment) (directive, bool, string) {
 		if len(d.Args) == 0 {
 			return directive{}, false, "malformed //lint:hotsafe: want a reason, e.g. //lint:hotsafe single atomic add"
 		}
+	case "nocx":
+		if len(d.Args) == 0 {
+			return directive{}, false, "malformed //lint:nocx: want a reason, e.g. //lint:nocx server lifetime is managed by the stop closure"
+		}
 	case "versioned":
 		if len(d.Args) != 1 {
 			return directive{}, false, "malformed //lint:versioned: want exactly one bump-method name"
@@ -117,9 +128,17 @@ func parseDirective(c *ast.Comment) (directive, bool, string) {
 		if len(d.Args) == 0 {
 			return directive{}, false, "malformed //lint:allow: want one or more analyzer names"
 		}
+		for _, name := range d.Args {
+			if !knownAnalyzer(name) {
+				return directive{}, false, "//lint:allow names unknown analyzer " + name
+			}
+		}
 	case "ignore":
 		if len(d.Args) < 2 {
 			return directive{}, false, "malformed //lint:ignore: want an analyzer name and a reason"
+		}
+		if !knownAnalyzer(d.Args[0]) {
+			return directive{}, false, "//lint:ignore names unknown analyzer " + d.Args[0]
 		}
 	default:
 		return directive{}, false, "unknown //lint: directive " + d.Verb

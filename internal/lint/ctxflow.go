@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxflowAnalyzer enforces the cancellation-plumbing contract that keeps
+// long-running operations stoppable: a declared function that spawns
+// goroutines or performs blocking operations (channel sends/receives,
+// select, WaitGroup waits) must accept a context.Context so its caller can
+// bound it — and a function that already has a context must forward it,
+// not bury a fresh context.Background()/TODO() in the call chain.
+//
+// Functions whose concurrency is deliberately unscoped (a process-lifetime
+// metrics server, a synchronous helper draining an internal channel)
+// declare that in their doc comment:
+//
+//	//lint:nocx <reason>
+//
+// The reason is mandatory, like //lint:hotsafe and //lint:ignore — every
+// escape from the contract is documented at the declaration. Function
+// literals are exempt: a closure inherits the cancellation discipline of
+// the function that builds it.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags concurrency-performing functions without a context.Context parameter, and ctx-bearing functions that pass context.Background/TODO instead of forwarding",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkCtxflow(pkg, fd, &diags)
+			}
+		}
+	}
+	return diags
+}
+
+func checkCtxflow(pkg *Package, fd *ast.FuncDecl, diags *[]Diagnostic) {
+	hasCtx := funcHasContextParam(pkg.Info, fd)
+
+	if hasCtx {
+		// Forwarding check: a function that was handed a context must not
+		// discard it by passing a fresh background/TODO context along.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isBackgroundContextCall(pkg.Info, arg) {
+					*diags = append(*diags, Diagnostic{
+						Pos: arg.Pos(),
+						Message: fmt.Sprintf("%s has a context.Context but passes %s here; forward the caller's ctx so cancellation reaches this call",
+							fd.Name.Name, types.ExprString(arg)),
+					})
+				}
+			}
+			return true
+		})
+		return
+	}
+
+	// Suppression: //lint:nocx <reason> on the declaration.
+	for _, d := range docDirectives(fd.Doc) {
+		if d.Verb == "nocx" {
+			return
+		}
+	}
+
+	op := firstConcurrencyOp(pkg.Info, fd.Body)
+	if op == "" {
+		return
+	}
+	*diags = append(*diags, Diagnostic{
+		Pos: fd.Name.Pos(),
+		Message: fmt.Sprintf("%s %s but has no context.Context parameter; accept and forward a ctx, or declare the escape with //lint:nocx <reason>",
+			fd.Name.Name, op),
+	})
+}
+
+// firstConcurrencyOp returns a description of the first goroutine spawn or
+// blocking operation in the body, or "" if there is none. Function
+// literals are skipped: their concurrency is accounted to the closure's
+// runtime caller, not the declaring function's signature.
+func firstConcurrencyOp(info *types.Info, body *ast.BlockStmt) string {
+	op := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			op = "spawns a goroutine"
+		case *ast.SelectStmt:
+			op = "blocks in a select"
+		case *ast.SendStmt:
+			op = "sends on a channel"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				op = "receives from a channel"
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+				op = "ranges over a channel"
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if named := namedOf(info.TypeOf(sel.X)); named != nil && typeKey(named) == "sync.WaitGroup" {
+					op = "waits on a WaitGroup"
+				}
+			}
+		}
+		return op == ""
+	})
+	return op
+}
+
+// funcHasContextParam reports whether any parameter is a context.Context.
+func funcHasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBackgroundContextCall reports whether the expression is a direct
+// context.Background() or context.TODO() call.
+func isBackgroundContextCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}

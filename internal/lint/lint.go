@@ -34,13 +34,39 @@ type Analyzer struct {
 	Run  func(*Program) []Diagnostic
 }
 
-// Analyzers is the full suite, in report order.
+// Analyzers is the full suite, in report order. The first five check the
+// fast-loop memory contracts (PR 3); the concurrency-and-determinism pack
+// (goleak, locksafe, ctxflow, atomicmix, maporder) makes the tree
+// daemon-ready by construction — see DESIGN.md §3.11.
 var Analyzers = []*Analyzer{
 	AliasingAnalyzer,
 	HotallocAnalyzer,
 	VersionbumpAnalyzer,
 	FloateqAnalyzer,
 	NocopyAnalyzer,
+	GoleakAnalyzer,
+	LocksafeAnalyzer,
+	CtxflowAnalyzer,
+	AtomicmixAnalyzer,
+	MaporderAnalyzer,
+}
+
+// analyzerNames is populated from Analyzers in init — parseDirective needs
+// it, and reading the Analyzers slice directly from there would be an
+// initialization cycle (every analyzer's Run reaches parseDirective).
+var analyzerNames = map[string]bool{"directive": true}
+
+func init() {
+	for _, a := range Analyzers {
+		analyzerNames[a.Name] = true
+	}
+}
+
+// knownAnalyzer reports whether name is a real analyzer (or the directive
+// pseudo-analyzer), so suppression directives naming a typo'd analyzer
+// fail the run instead of silently suppressing nothing.
+func knownAnalyzer(name string) bool {
+	return analyzerNames[name]
 }
 
 // Run executes the given analyzers (nil means all of Analyzers) over prog

@@ -76,7 +76,10 @@ func checkExpectations(t *testing.T, prog *Program, diags []Diagnostic) {
 }
 
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"aliasing", "hotalloc", "versionbump", "floateq", "nocopy"} {
+	for _, name := range []string{
+		"aliasing", "hotalloc", "versionbump", "floateq", "nocopy",
+		"goleak", "locksafe", "ctxflow", "atomicmix", "maporder",
+	} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -99,8 +102,11 @@ func TestMalformedDirectives(t *testing.T) {
 		"malformed //lint:versioned",
 		"malformed //lint:hotpath",
 		"malformed //lint:hotsafe",
+		"malformed //lint:nocx",
 		"malformed //lint:allow",
 		"malformed //lint:ignore",
+		"//lint:allow names unknown analyzer gofrob",
+		"//lint:ignore names unknown analyzer gofrob",
 	}
 	for _, w := range want {
 		found := false

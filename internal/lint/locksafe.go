@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LocksafeAnalyzer guards the two mutex mistakes that turn a fast
+// lock-free-read design into a deadlocked or corrupted daemon:
+//
+//   - a sync.Mutex / sync.RWMutex held across a blocking operation —
+//     channel sends and receives, select, (*sync.WaitGroup).Wait,
+//     time.Sleep, or invoking a caller-supplied function value. Any of
+//     these can park the goroutine for an unbounded time with the lock
+//     held, stalling every other locker (and the registry's lock-free
+//     readers' writers).
+//   - an early return with the mutex still held on that path — the
+//     missing-unlock bug that a later test deadlocks on, or worse,
+//     doesn't.
+//
+// The analysis is intraprocedural and path-approximate: each branch is
+// scanned with a copy of the held-lock set and the fall-through keeps the
+// pre-branch state, so an unlock inside an if-body sanctions returns in
+// that body without sanctioning the code after it. A `defer mu.Unlock()`
+// sanctions every return but still counts as held for the blocking check —
+// the lock really is held until the function exits.
+var LocksafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags mutexes held across blocking calls and early returns with a mutex held",
+	Run:  runLocksafe,
+}
+
+func runLocksafe(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						scanLocks(pkg, n.Body, &diags)
+					}
+					return false // nested literals are scanned from the decl walk below
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// heldLock records one acquired mutex.
+type heldLock struct {
+	path     string // canonical mutex expression (aliasing.go's canonExpr)
+	name     string // source text for messages
+	read     bool   // RLock rather than Lock
+	deferred bool   // a deferred unlock sanctions returns
+}
+
+// lockState is the held-lock set threaded through a statement scan.
+type lockState struct {
+	pkg   *Package
+	diags *[]Diagnostic
+	held  []heldLock
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{pkg: s.pkg, diags: s.diags}
+	c.held = append(c.held, s.held...)
+	return c
+}
+
+// scanLocks analyzes one function body. Function literals inside it are
+// analyzed as independent roots: a closure runs on its own goroutine's
+// schedule, so locks held by the enclosing function don't transfer.
+func scanLocks(pkg *Package, body *ast.BlockStmt, diags *[]Diagnostic) {
+	s := &lockState{pkg: pkg, diags: diags}
+	s.scanBlock(body)
+}
+
+func (s *lockState) report(pos token.Pos, format string, args ...any) {
+	*s.diags = append(*s.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// scanBlock threads the held set through a statement list.
+func (s *lockState) scanBlock(b *ast.BlockStmt) {
+	for _, stmt := range b.List {
+		s.scanStmt(stmt)
+	}
+}
+
+func (s *lockState) scanStmt(stmt ast.Stmt) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && s.lockEvent(call, false) {
+			return
+		}
+		s.checkExpr(st.X)
+	case *ast.DeferStmt:
+		if s.lockEvent(st.Call, true) {
+			return
+		}
+		s.checkExpr(st.Call)
+	case *ast.SendStmt:
+		if len(s.held) > 0 {
+			s.report(st.Pos(), "channel send while %s is held; a full channel parks this goroutine with the lock held", s.heldNames())
+		}
+		s.checkExpr(st.Value)
+	case *ast.SelectStmt:
+		if len(s.held) > 0 {
+			s.report(st.Pos(), "select while %s is held; every case can block with the lock held", s.heldNames())
+		}
+		for _, clause := range st.Body.List {
+			cc := clause.(*ast.CommClause)
+			sub := s.clone()
+			for _, inner := range cc.Body {
+				sub.scanStmt(inner)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, h := range s.held {
+			if !h.deferred {
+				s.report(st.Pos(), "return with %s still held on this path; unlock before returning or defer the unlock", h.name)
+			}
+		}
+		for _, r := range st.Results {
+			s.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init)
+		}
+		s.checkExpr(st.Cond)
+		s.clone().scanBlock(st.Body)
+		if st.Else != nil {
+			s.clone().scanStmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.checkExpr(st.Cond)
+		}
+		s.clone().scanBlock(st.Body)
+	case *ast.RangeStmt:
+		if _, ok := s.pkg.Info.TypeOf(st.X).Underlying().(*types.Chan); ok && len(s.held) > 0 {
+			s.report(st.Pos(), "range over a channel while %s is held; each receive can park with the lock held", s.heldNames())
+		}
+		s.checkExpr(st.X)
+		s.clone().scanBlock(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.checkExpr(st.Tag)
+		}
+		s.scanCases(st.Body)
+	case *ast.TypeSwitchStmt:
+		s.scanCases(st.Body)
+	case *ast.BlockStmt:
+		s.scanBlock(st)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			s.checkExpr(rhs)
+		}
+	case *ast.GoStmt:
+		// Spawning never blocks the spawner, so the call itself is exempt;
+		// the goroutine runs with its own (empty) held set, so any literal
+		// bodies in the call are scanned as fresh roots.
+		ast.Inspect(st.Call, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				scanLocks(s.pkg, lit.Body, s.diags)
+				return false
+			}
+			return true
+		})
+	case *ast.LabeledStmt:
+		s.scanStmt(st.Stmt)
+	default:
+		if stmt != nil {
+			ast.Inspect(stmt, s.exprVisitor())
+		}
+	}
+}
+
+func (s *lockState) scanCases(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		sub := s.clone()
+		for _, inner := range cc.Body {
+			sub.scanStmt(inner)
+		}
+	}
+}
+
+// checkExpr flags blocking operations inside an expression and recurses
+// into nested function literals as fresh roots.
+func (s *lockState) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, s.exprVisitor())
+}
+
+func (s *lockState) exprVisitor() func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			scanLocks(s.pkg, n.Body, s.diags)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(s.held) > 0 {
+				s.report(n.Pos(), "channel receive while %s is held; an empty channel parks this goroutine with the lock held", s.heldNames())
+			}
+		case *ast.CallExpr:
+			if len(s.held) > 0 {
+				s.checkBlockingCall(n)
+			}
+		}
+		return true
+	}
+}
+
+// checkBlockingCall flags calls that can block while a lock is held.
+func (s *lockState) checkBlockingCall(call *ast.CallExpr) {
+	info := s.pkg.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if named := namedOf(info.TypeOf(sel.X)); named != nil {
+			switch typeKey(named) + "." + sel.Sel.Name {
+			case "sync.WaitGroup.Wait", "sync.Cond.Wait":
+				s.report(call.Pos(), "%s while %s is held blocks with the lock held", sel.Sel.Name, s.heldNames())
+				return
+			}
+		}
+	}
+	if fn := calleeOf(info, call); fn != nil {
+		if pkg := fn.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "time":
+				if fn.Name() == "Sleep" {
+					s.report(call.Pos(), "time.Sleep while %s is held parks this goroutine with the lock held", s.heldNames())
+				}
+			case "io", "os", "net", "net/http", "bufio":
+				s.report(call.Pos(), "%s.%s while %s is held; I/O can block indefinitely with the lock held",
+					pkg.Name(), fn.Name(), s.heldNames())
+			case "fmt":
+				if strings.HasPrefix(fn.Name(), "Fprint") {
+					s.report(call.Pos(), "fmt.%s while %s is held; writer I/O can block with the lock held", fn.Name(), s.heldNames())
+				}
+			}
+		}
+		return
+	}
+	// No static callee: calling a function-valued variable, field, or
+	// parameter — a caller-supplied callback whose blocking behaviour this
+	// function cannot see.
+	fun := ast.Unparen(call.Fun)
+	switch fun.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		tv, ok := info.Types[fun]
+		if !ok || tv.IsType() || tv.IsBuiltin() {
+			return
+		}
+		if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+			s.report(call.Pos(), "calling the function value %s while %s is held; callbacks may block or re-enter the lock",
+				types.ExprString(fun), s.heldNames())
+		}
+	}
+}
+
+// lockEvent updates the held set if call is a Lock/Unlock-family method on
+// a sync.Mutex or sync.RWMutex; it reports whether the call was one.
+func (s *lockState) lockEvent(call *ast.CallExpr, deferred bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	named := namedOf(s.pkg.Info.TypeOf(sel.X))
+	if named == nil {
+		return false
+	}
+	key := typeKey(named)
+	if key != "sync.Mutex" && key != "sync.RWMutex" {
+		return false
+	}
+	path := canonExpr(s.pkg.Info, sel.X)
+	if path == "" {
+		return false
+	}
+	name := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		s.held = append(s.held, heldLock{path: path, name: name, read: sel.Sel.Name == "RLock"})
+		return true
+	case "Unlock", "RUnlock":
+		if deferred {
+			for i := range s.held {
+				if s.held[i].path == path {
+					s.held[i].deferred = true
+				}
+			}
+			return true
+		}
+		for i := len(s.held) - 1; i >= 0; i-- {
+			if s.held[i].path == path {
+				s.held = append(s.held[:i], s.held[i+1:]...)
+				break
+			}
+		}
+		return true
+	case "TryLock", "TryRLock":
+		// The result decides whether the lock is held; treating it as held
+		// would flag the failure path. Callers own this pattern.
+		return true
+	}
+	return false
+}
+
+// heldNames renders the held set for messages.
+func (s *lockState) heldNames() string {
+	out := ""
+	for i, h := range s.held {
+		if i > 0 {
+			out += ", "
+		}
+		out += h.name
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MaporderAnalyzer guards the repo's bit-identical series contract against
+// Go's randomized map iteration. Ranging over a map is fine when the body
+// is order-independent; it silently breaks determinism when the body feeds
+// an ordered or serialized sink:
+//
+//   - appending to a slice (later compared element-wise or checksummed),
+//   - sending on a channel (a consumer sees a random order),
+//   - writing to an io.Writer / fmt.Fprint* / hash accumulator (the bytes
+//     land in a random order), or
+//   - accumulating into a floating-point variable declared outside the
+//     loop (float addition is not associative, so the random order changes
+//     the low bits — exactly the drift the BENCH series checksums exist to
+//     catch).
+//
+// The fix is the sorted-keys idiom: collect keys, sort, then index the map
+// in that order. A genuinely order-independent body (integer counting,
+// building another map, append-then-sort) carries an
+// //lint:ignore maporder <reason> on the range line.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops feeding ordered sinks (appends, writers, channels, float accumulators)",
+	Run:  runMaporder,
+}
+
+func runMaporder(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := pkg.Info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pkg, rng, &diags)
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// checkMapRange flags the ordered sinks inside one range-over-map body.
+// Findings anchor to the range statement (one per sink kind), so a single
+// //lint:ignore on the range line covers the loop.
+func checkMapRange(pkg *Package, rng *ast.RangeStmt, diags *[]Diagnostic) {
+	info := pkg.Info
+	seen := make(map[string]bool)
+	flag := func(kind, detail string) {
+		if seen[kind] {
+			return
+		}
+		seen[kind] = true
+		*diags = append(*diags, Diagnostic{
+			Pos: rng.Pos(),
+			Message: fmt.Sprintf("map iteration order is random but this loop %s; sort the keys first, or suppress with //lint:ignore maporder <reason> if the sink is order-independent",
+				detail),
+		})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range gets its own finding from the outer walk.
+			return true
+		case *ast.SendStmt:
+			flag("send", "sends on a channel")
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if isFloat(info.TypeOf(lhs)) && declaredOutside(info, lhs, rng) {
+						flag("floatacc", "accumulates into a float declared outside the loop (float addition is order-sensitive)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(info, n, flag)
+		}
+		return true
+	})
+}
+
+func checkMapRangeCall(info *types.Info, call *ast.CallExpr, flag func(kind, detail string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			flag("append", "appends to a slice")
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method-shaped serialization: Write/WriteString/WriteByte on any
+		// receiver covers io.Writer implementations, strings.Builder, and
+		// hash.Hash checksum accumulators alike.
+		if strings.HasPrefix(sel.Sel.Name, "Write") {
+			if _, isMethod := info.Selections[sel]; isMethod {
+				flag("write", "writes through "+types.ExprString(sel.X)+"."+sel.Sel.Name)
+				return
+			}
+		}
+	}
+	if fn := calleeOf(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if strings.HasPrefix(fn.Name(), "Fprint") {
+				flag("write", "serializes via fmt."+fn.Name())
+			}
+		case "io":
+			if fn.Name() == "WriteString" || fn.Name() == "Copy" {
+				flag("write", "serializes via io."+fn.Name())
+			}
+		}
+	}
+}
+
+// declaredOutside reports whether the root object of an lvalue was
+// declared outside the range statement — i.e. the accumulation survives
+// the loop.
+func declaredOutside(info *types.Info, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.SelectorExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package atomicmix exercises the atomic/plain mixed-access rule on a
+// plain uint64 field driven through sync/atomic calls.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64        // accessed via atomic.AddUint64/LoadUint64
+	safe atomic.Uint64 // typed atomic: immune by construction
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1) // ok: atomic access
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.hits) // ok: atomic access
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want:atomicmix "plain access to fixture/atomicmix.counter.hits"
+}
+
+func (c *counter) bump(n uint64) {
+	c.hits += n // want:atomicmix "plain access to fixture/atomicmix.counter.hits"
+}
+
+// reset runs before any goroutine exists, so the plain store is sanctioned
+// with a reasoned ignore.
+func (c *counter) reset() {
+	//lint:ignore atomicmix constructor-time init before any goroutine starts
+	c.hits = 0
+}
+
+func (c *counter) typed() uint64 {
+	c.safe.Add(1) // ok: unexported representation forces the atomic API
+	return c.safe.Load()
+}

@@ -1,0 +1,42 @@
+// Package ctxflow exercises the cancellation-plumbing contract: functions
+// that spawn or block must accept a context, and functions that have one
+// must forward it.
+package ctxflow
+
+import "context"
+
+func run(ch chan int) { // want:ctxflow "run sends on a channel but has no context.Context"
+	ch <- 1
+}
+
+func spawn(done chan struct{}) { // want:ctxflow "spawn spawns a goroutine but has no context.Context"
+	go func() {
+		<-done
+	}()
+}
+
+// dispatch has a context but buries a fresh one in the call chain, cutting
+// the caller's cancellation off from feed.
+func dispatch(ctx context.Context, ch chan int) {
+	feed(context.Background(), ch) // want:ctxflow "passes context.Background()"
+}
+
+func feed(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// forwarded plumbs the caller's ctx through: clean.
+func forwarded(ctx context.Context, ch chan int) {
+	feed(ctx, ch)
+}
+
+// drain declares its escape from the contract with a reasoned nocx.
+//
+//lint:nocx drain is synchronous: the producer closed ch before this call
+func drain(ch chan int) {
+	for range ch {
+	}
+}

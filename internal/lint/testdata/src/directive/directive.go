@@ -17,7 +17,18 @@ func allowWithoutNames() {}
 //lint:hotsafe
 func hotsafeWithoutReason() {}
 
+//lint:nocx
+func nocxWithoutReason() {}
+
+//lint:allow gofrob
+func allowUnknownAnalyzer() {}
+
 func ignoreMissingReason() {
 	//lint:ignore hotalloc
+	_ = make([]float64, 1)
+}
+
+func ignoreUnknownAnalyzer() {
+	//lint:ignore gofrob not a real analyzer, so this suppresses nothing
 	_ = make([]float64, 1)
 }

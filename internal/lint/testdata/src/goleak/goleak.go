@@ -1,0 +1,103 @@
+// Package goleak exercises the spawn-site termination-evidence rules:
+// context argument, range-over-channel, done-channel receive, and
+// WaitGroup join all prove termination; a bare spawn does not.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leaky spawns a free-running loop nothing can stop.
+//
+//lint:nocx fixture: spawn discipline is what's under test here
+func leaky() {
+	go func() { // want:goleak "no provable termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+// external spawns a caller-supplied function: no visible body, no evidence.
+//
+//lint:nocx fixture: spawn discipline is what's under test here
+func external(f func()) {
+	go f() // want:goleak "no provable termination path"
+}
+
+// suppressed documents why the unproven spawn is fine.
+//
+//lint:nocx fixture: spawn discipline is what's under test here
+func suppressed(f func()) {
+	//lint:ignore goleak the callback terminates when its own feed closes
+	go f()
+}
+
+// spawnWithCtx proves termination by plumbing a context into the call.
+func spawnWithCtx(ctx context.Context) {
+	go consume(ctx) // ok: ctx argument
+}
+
+func consume(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// pipeline proves termination by ranging over a channel the spawner closes.
+//
+//lint:nocx fixture: spawn discipline is what's under test here
+func pipeline(ch chan int) {
+	go func() { // ok: body ranges over ch
+		for range ch {
+			work()
+		}
+	}()
+	close(ch)
+}
+
+// doneChannel proves termination with the chan struct{} signal idiom.
+//
+//lint:nocx fixture: spawn discipline is what's under test here
+func doneChannel(done chan struct{}) {
+	go func() { // ok: body receives from a done channel
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// joined proves termination with the bounded worker-pool join.
+//
+//lint:nocx fixture: spawn discipline is what's under test here
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: Done in body, Wait in spawner
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// named is spawned by spawnNamed below; the analyzer inspects its body
+// across the call.
+//
+//lint:nocx fixture: terminated by channel close, not cancellation
+func named(ch <-chan int) {
+	for range ch {
+		work()
+	}
+}
+
+//lint:nocx fixture: spawn discipline is what's under test here
+func spawnNamed(ch chan int) {
+	go named(ch) // ok: module-internal callee ranges over its channel
+	close(ch)
+}

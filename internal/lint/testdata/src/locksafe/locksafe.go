@@ -1,0 +1,87 @@
+// Package locksafe exercises the held-across-blocking and
+// missing-unlock-on-return rules. The channel plumbing here is the point
+// of the fixture, not unscoped concurrency, so ctxflow is allowed off
+// file-wide.
+//
+//lint:allow ctxflow
+package locksafe
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) badSend(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want:locksafe "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *store) badReceive(ch chan int) {
+	s.mu.Lock()
+	s.n = <-ch // want:locksafe "channel receive while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *store) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want:locksafe "Wait while s.mu is held"
+}
+
+func (s *store) badCallback(f func()) {
+	s.mu.Lock()
+	f() // want:locksafe "calling the function value f"
+	s.mu.Unlock()
+}
+
+func (s *store) badReturn(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return // want:locksafe "return with s.mu still held"
+	}
+	s.mu.Unlock()
+}
+
+// okReturn unlocks on every path, so neither return is flagged.
+func (s *store) okReturn(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return 1
+}
+
+// okDeferred holds the lock to the end, but the deferred unlock sanctions
+// the early return.
+func (s *store) okDeferred(cond bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		return 0
+	}
+	return s.n
+}
+
+// sanctioned documents why this particular send cannot park.
+func (s *store) sanctioned(ch chan int) {
+	s.mu.Lock()
+	//lint:ignore locksafe ch is buffered with capacity for exactly one update
+	ch <- s.n
+	s.mu.Unlock()
+}
+
+// spawned goroutines get their own held set: the literal's receive loop is
+// clean because the spawner's lock does not transfer.
+func (s *store) okSpawn(ch chan int) {
+	s.mu.Lock()
+	go func() {
+		for range ch {
+		}
+	}()
+	s.mu.Unlock()
+}

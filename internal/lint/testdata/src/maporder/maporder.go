@@ -1,0 +1,70 @@
+// Package maporder exercises the ordered-sink rules for range-over-map
+// loops. The channel plumbing is the fixture's point, so ctxflow is
+// allowed off file-wide.
+//
+//lint:allow ctxflow
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func serialize(m map[string]int) []string {
+	var out []string
+	for k := range m { // want:maporder "appends to a slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+func accumulate(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want:maporder "accumulates into a float declared outside the loop"
+		total += v
+	}
+	return total
+}
+
+func stream(m map[string]int, ch chan int) {
+	for _, v := range m { // want:maporder "sends on a channel"
+		ch <- v
+	}
+}
+
+func dump(m map[string]int, w io.Writer) {
+	for k, v := range m { // want:maporder "serializes via fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// sortedKeys is the canonical fix: the append feeds a sort, so the random
+// iteration order never escapes. The ignore documents exactly that.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore maporder keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// count is order-independent: integer counting commutes.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert builds another map: order-independent by construction.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -207,12 +207,15 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var s Snapshot
+	//lint:ignore maporder each slice is sorted by name before returning
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, CounterValue{Name: name, Help: r.help[name], Value: c.Value()})
 	}
+	//lint:ignore maporder each slice is sorted by name before returning
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Help: r.help[name], Value: g.Value()})
 	}
+	//lint:ignore maporder each slice is sorted by name before returning
 	for name, h := range r.histograms {
 		hv := HistogramValue{
 			Name:   name,
