@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/leaktest"
+)
+
+// TestServeMuxDoesNotLeakGoroutines drives the registry's HTTP surface
+// through a real server and checks the whole exchange — server accept
+// loop, per-connection goroutines, client transport — winds down cleanly.
+// This is the runtime backstop for the goleak analyzer on the cmds'
+// -metrics listeners, which it can only suppress (http.Server's goroutines
+// live outside the module).
+func TestServeMuxDoesNotLeakGoroutines(t *testing.T) {
+	leaktest.Check(t, func() {
+		reg := NewRegistry()
+		reg.Counter("leak_test_requests_total", "requests served").Add(1)
+		reg.Gauge("leak_test_temp", "a gauge").Set(3.5)
+
+		srv := httptest.NewServer(reg.ServeMux())
+		defer srv.Close()
+		client := srv.Client()
+		for _, path := range []string{"/metrics", "/debug/vars"} {
+			resp, err := client.Get(srv.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("GET %s: read body: %v", path, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+			if len(body) == 0 {
+				t.Fatalf("GET %s: empty body", path)
+			}
+		}
+		// Idle keep-alive connections in the client transport park
+		// goroutines; drop them before the leak check.
+		client.CloseIdleConnections()
+	})
+}
