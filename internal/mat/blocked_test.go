@@ -2,6 +2,7 @@ package mat
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -311,6 +312,112 @@ func TestLUSolveTVecAliased(t *testing.T) {
 			t.Errorf("aliased solve[%d] = %g, want %g", i, b[i], want[i])
 		}
 	}
+}
+
+// FuzzBlockedCholesky drives the blocked factorization directly (below the
+// cholBlockMin dispatch) against the naive reference loop: identical factor
+// bit-for-bit on success, and the same failure column when the matrix is
+// not positive definite. Most inputs are made SPD by diagonal dominance;
+// one byte in eight leaves the fuzzed diagonal so the error path compares.
+func FuzzBlockedCholesky(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte("\x31\x00 non-dominant diagonal exercises the failure column \x00\x80"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		next := func() byte {
+			if off < len(data) {
+				b := data[off]
+				off++
+				return b
+			}
+			return 0
+		}
+		// Sizes up to ~2 panels keep each execution fast while straddling
+		// the factorPanel and factorTileK boundaries.
+		n := int(next())%(2*factorPanel+5) + 1
+		dominant := next()%8 != 0
+		a := Zeros(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := fuzzValue(next())
+				a.data[i*n+j] = v
+				a.data[j*n+i] = v
+			}
+			if dominant {
+				a.data[i*n+i] = float64(n) * 40
+			}
+		}
+		want, wantCol, wantErr := naiveCholesky(a)
+		var c Cholesky
+		l := ReuseDense(nil, n, n)
+		c.l, c.n = l, n
+		err := c.factorBlocked(a, l, n)
+		if wantErr != nil {
+			if !errors.Is(err, ErrSingular) {
+				t.Fatalf("n=%d: naive failed at column %d but blocked returned %v", n, wantCol, err)
+			}
+			if want := fmt.Sprintf("column %d", wantCol); !strings.Contains(err.Error(), want) {
+				t.Fatalf("n=%d: blocked error %q, want failure at %s", n, err, want)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("n=%d: naive succeeded but blocked returned %v", n, err)
+		}
+		if !Equal(l, want) {
+			t.Fatalf("n=%d: blocked Cholesky factor differs from naive loop", n)
+		}
+	})
+}
+
+// FuzzBlockedLU drives the blocked factorization directly (below the
+// luBlockMin dispatch) against the naive reference: identical LU storage
+// and pivot sequence on success, ErrSingular on the same inputs otherwise.
+func FuzzBlockedLU(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{9, 1, 2, 3, 0, 5, 6, 0, 8, 9, 10, 0, 12, 13, 14, 0})
+	f.Add([]byte("\x61 pivot churn across panel boundaries \xff\x00\x7f\x80\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		next := func() byte {
+			if off < len(data) {
+				b := data[off]
+				off++
+				return b
+			}
+			return 0
+		}
+		n := int(next())%(2*factorPanel+5) + 1
+		a := fuzzDense(data, &off, n, n)
+		want, wantPiv, wantErr := naiveLU(a)
+		var f2 LU
+		lu := reuseUnset(nil, n, n)
+		copy(lu.data, a.data)
+		piv := make([]int, n)
+		for i := range piv {
+			piv[i] = i
+		}
+		f2.lu, f2.piv, f2.n = lu, piv, n
+		err := f2.factorBlocked(lu, piv, n)
+		if wantErr != nil {
+			if !errors.Is(err, ErrSingular) {
+				t.Fatalf("n=%d: naive failed (%v) but blocked returned %v", n, wantErr, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("n=%d: naive succeeded but blocked returned %v", n, err)
+		}
+		if !Equal(lu, want) {
+			t.Fatalf("n=%d: blocked LU factor differs from naive loop", n)
+		}
+		for i := range wantPiv {
+			if piv[i] != wantPiv[i] {
+				t.Fatalf("n=%d: pivot sequence diverged at %d: %d vs %d", n, i, piv[i], wantPiv[i])
+			}
+		}
+	})
 }
 
 // FuzzBlockedMulInto drives the blocked kernel directly (below the size
