@@ -7,8 +7,14 @@
 #                  (testing.AllocsPerRun) skip themselves under -race.
 #   make lint    — idclint, the repo's own static-analysis suite
 #                  (kernel aliasing, hot-path allocations, version-bump
-#                  protocol, float ==, nocopy structs); see DESIGN.md §3.6.
+#                  protocol, float ==, nocopy structs, plus the concurrency
+#                  pack: goroutine termination, mutex-across-blocking,
+#                  context plumbing, atomic/plain mixing, map-order sinks);
+#                  see DESIGN.md §3.6 and §3.11.
 #   make test    — fast unit tests only, in shuffled order.
+#   make leaktest — the goroutine-leak regression tests (internal/leaktest
+#                  harness) under the race detector; the runtime backstop
+#                  for what the goleak analyzer can only check statically.
 #   make bench   — the paper-artifact benchmarks with series checksums,
 #                  recorded to $(BENCH_JSON); the run fails if any series
 #                  checksum drifts from the $(BENCH_REF) snapshot (results
@@ -28,10 +34,10 @@
 #                  the local perf-ratio snapshot) skips itself there.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR7.json
-BENCH_REF ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR8.json
+BENCH_REF ?= BENCH_PR7.json
 
-.PHONY: check vet lint build test race bench bench-smoke
+.PHONY: check vet lint build test race leaktest bench bench-smoke
 
 check: vet lint build test race
 
@@ -49,6 +55,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+leaktest:
+	$(GO) test -race -run Leak ./internal/... -count=1
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON) -check-series $(BENCH_REF) -check-perf $(BENCH_REF)
