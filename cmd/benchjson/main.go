@@ -6,11 +6,15 @@
 //	go test -run XXX -bench . -benchmem . | benchjson -out BENCH.json
 //
 // Each benchmark line ("BenchmarkName-P  iters  v1 unit1  v2 unit2 ...")
-// becomes one record keyed by the benchmark name with the GOMAXPROCS suffix
-// stripped; value/unit pairs — including custom b.ReportMetric units such as
-// the figure checksums — land in the metrics map verbatim. benchjson exits
-// nonzero when the stream contains a test failure, so `make bench` fails
-// loudly instead of writing a partial file.
+// becomes one record keyed by (name, procs): the "-P" GOMAXPROCS suffix is
+// parsed into the record's procs field (1 when absent, as `go test` only
+// appends it when GOMAXPROCS ≠ 1), so the same benchmark captured at
+// different GOMAXPROCS values — the parallel-kernel matrix — yields
+// distinct, comparable records instead of colliding. Value/unit pairs —
+// including custom b.ReportMetric units such as the figure checksums —
+// land in the metrics map verbatim. benchjson exits nonzero when the
+// stream contains a test failure, so `make bench` fails loudly instead of
+// writing a partial file.
 //
 // Two regression gates compare the parsed run against a previous summary:
 // -check-series fails on any bit drift of the deterministic series-sum /
@@ -35,11 +39,25 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line, keyed by (Name, Procs).
 type Benchmark struct {
-	Name       string             `json:"name"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the "-P" suffix of
+	// the raw line; 1 when the suffix is absent). Summaries written before
+	// procs keying carry 0 here, which comparisons treat as "matches any
+	// procs" so old references stay usable.
+	Procs      int                `json:"procs,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// label renders a record's display name in the `go test` convention:
+// "Name-P" when it ran at GOMAXPROCS P ≠ 1.
+func (b *Benchmark) label() string {
+	if b.Procs > 1 {
+		return fmt.Sprintf("%s-%d", b.Name, b.Procs)
+	}
+	return b.Name
 }
 
 // Summary is the file written to -out.
@@ -162,17 +180,23 @@ const perfTolerance = 0.35
 const perfCalibration = "Expm"
 
 // perfRatioPins are same-snapshot ns/op ratio floors: num must be at
-// most maxFrac of den within the *current* run. Ratios between two lines
-// of one snapshot are machine-independent, so these encode the claims
-// the solver-kernel work is sold on — the structured condensed-QP path
-// must beat the ForceDense control at the planet-scale topology by ≥5×.
+// most maxFrac of den within the *current* run, at the same GOMAXPROCS.
+// Ratios between two lines of one snapshot are machine-independent, so
+// these encode the claims the solver-kernel work is sold on — the
+// structured condensed-QP path must beat the ForceDense control at the
+// planet-scale topology by ≥5×, the fleet-step pool must beat serial
+// fleet stepping by ≥1.8×, and attaching the kernel pool to a single
+// solve must cost ≤15% (its kernels dispatch serially below threshold).
 // A pin is skipped when either side is absent (CI's -short bench-smoke
-// skips the expensive dense control).
+// skips the expensive dense control, and the parallel benchmarks skip
+// themselves below 4 CPUs).
 var perfRatioPins = []struct {
 	num, den string
 	maxFrac  float64
 }{
 	{"MPCStepScaling/C50xN20", "MPCStepScalingDense/C50xN20", 0.20},
+	{"FleetStep/C50xN20/pool", "FleetStep/C50xN20/serial", 0.555},
+	{"MPCStepParallel/C50xN20", "MPCStepScaling/C50xN20", 1.15},
 }
 
 // checkPerf compares the pinned benchmarks' ns/op against the reference
@@ -190,50 +214,70 @@ func checkPerf(sum *Summary, path string, out io.Writer) error {
 	if err := json.Unmarshal(data, &ref); err != nil {
 		return fmt.Errorf("check-perf %s: %w", path, err)
 	}
-	nsPerOp := func(s *Summary, name string) (float64, bool) {
-		for _, b := range s.Benchmarks {
-			if b.Name == name {
-				v, ok := b.Metrics["ns/op"]
-				return v, ok
-			}
+	nsPerOp := func(b *Benchmark) (float64, bool) {
+		if b == nil {
+			return 0, false
 		}
-		return 0, false
+		v, ok := b.Metrics["ns/op"]
+		return v, ok
 	}
 	drift := 1.0
-	if curCal, ok := nsPerOp(sum, perfCalibration); ok {
-		if refCal, ok := nsPerOp(&ref, perfCalibration); ok && refCal > 0 && curCal > 0 {
-			drift = curCal / refCal
-			fmt.Fprintf(out, "benchjson: check-perf: machine drift ×%.3f vs %s (%s %.0f → %.0f ns/op)\n",
-				drift, path, perfCalibration, refCal, curCal)
+	if cal := firstNamed(sum, perfCalibration); cal != nil {
+		if refCal, ok := matchRef(&ref, perfCalibration, cal.Procs); ok {
+			cur, okC := nsPerOp(cal)
+			prev, okR := nsPerOp(refCal)
+			if okC && okR && prev > 0 && cur > 0 {
+				drift = cur / prev
+				fmt.Fprintf(out, "benchjson: check-perf: machine drift ×%.3f vs %s (%s %.0f → %.0f ns/op)\n",
+					drift, path, perfCalibration, prev, cur)
+			}
 		}
 	}
 	var regressions []string
 	for _, name := range perfPinned {
-		got, ok := nsPerOp(sum, name)
-		if !ok {
+		curs := allNamed(sum, name)
+		if len(curs) == 0 {
 			return fmt.Errorf("check-perf: pinned benchmark %s missing from the current run", name)
 		}
-		want, ok := nsPerOp(&ref, name)
-		if !ok {
-			continue
-		}
-		calibrated := got / drift
-		if calibrated > want*(1+perfTolerance) {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f ns/op (calibrated %.0f) vs reference %.0f (+%.1f%%, tolerance %.0f%%)",
-					name, got, calibrated, want, 100*(calibrated/want-1), 100*perfTolerance))
+		// Like-for-like: each current record compares only against the
+		// reference record at the same GOMAXPROCS (or a legacy procs-less
+		// reference record, which matches any).
+		for _, cur := range curs {
+			got, ok := nsPerOp(cur)
+			if !ok {
+				return fmt.Errorf("check-perf: pinned benchmark %s has no ns/op", cur.label())
+			}
+			refB, ok := matchRef(&ref, name, cur.Procs)
+			if !ok {
+				continue
+			}
+			want, ok := nsPerOp(refB)
+			if !ok {
+				continue
+			}
+			calibrated := got / drift
+			if calibrated > want*(1+perfTolerance) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f ns/op (calibrated %.0f) vs reference %.0f (+%.1f%%, tolerance %.0f%%)",
+						cur.label(), got, calibrated, want, 100*(calibrated/want-1), 100*perfTolerance))
+			}
 		}
 	}
 	for _, pin := range perfRatioPins {
-		num, okN := nsPerOp(sum, pin.num)
-		den, okD := nsPerOp(sum, pin.den)
-		if !okN || !okD || den <= 0 {
-			continue
-		}
-		if num > den*pin.maxFrac {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f ns/op is %.1f%% of %s (%.0f ns/op); pinned at ≤%.0f%% (≥%.1f× speedup)",
-					pin.num, num, 100*num/den, pin.den, den, 100*pin.maxFrac, 1/pin.maxFrac))
+		// Both sides of a ratio must come from the same GOMAXPROCS within
+		// the current run; a pin is skipped when its counterpart is absent.
+		for _, num := range allNamed(sum, pin.num) {
+			den := atProcs(sum, pin.den, num.Procs)
+			numNs, okN := nsPerOp(num)
+			denNs, okD := nsPerOp(den)
+			if !okN || !okD || denNs <= 0 {
+				continue
+			}
+			if numNs > denNs*pin.maxFrac {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f ns/op is %.1f%% of %s (%.0f ns/op); pinned at ≤%.0f%% (≥%.1f× speedup)",
+						num.label(), numNs, 100*numNs/denNs, den.label(), denNs, 100*pin.maxFrac, 1/pin.maxFrac))
+			}
 		}
 	}
 	if len(regressions) > 0 {
@@ -241,6 +285,59 @@ func checkPerf(sum *Summary, path string, out io.Writer) error {
 			path, strings.Join(regressions, "\n  "))
 	}
 	return nil
+}
+
+// firstNamed returns the first record named name regardless of procs, or
+// nil.
+func firstNamed(s *Summary, name string) *Benchmark {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == name {
+			return &s.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// allNamed returns every record named name, one per GOMAXPROCS it ran at.
+func allNamed(s *Summary, name string) []*Benchmark {
+	var out []*Benchmark
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == name {
+			out = append(out, &s.Benchmarks[i])
+		}
+	}
+	return out
+}
+
+// atProcs returns the record with exactly (name, procs), or nil.
+func atProcs(s *Summary, name string, procs int) *Benchmark {
+	for i := range s.Benchmarks {
+		if b := &s.Benchmarks[i]; b.Name == name && b.Procs == procs {
+			return b
+		}
+	}
+	return nil
+}
+
+// matchRef finds the reference record comparable to a current (name,
+// procs) record: an exact procs match wins; a reference written before
+// procs keying (records carry procs 0) matches any procs so old snapshots
+// remain usable as baselines.
+func matchRef(ref *Summary, name string, procs int) (*Benchmark, bool) {
+	var legacy *Benchmark
+	for i := range ref.Benchmarks {
+		b := &ref.Benchmarks[i]
+		if b.Name != name {
+			continue
+		}
+		if b.Procs == procs {
+			return b, true
+		}
+		if b.Procs == 0 && legacy == nil {
+			legacy = b
+		}
+	}
+	return legacy, legacy != nil
 }
 
 // checksumUnit reports whether a metric unit is a result checksum —
@@ -262,11 +359,21 @@ func checkSeries(sum *Summary, path string) error {
 	if err := json.Unmarshal(data, &ref); err != nil {
 		return fmt.Errorf("check-series %s: %w", path, err)
 	}
-	refVals := make(map[string]float64)
+	// Exact (name, procs, unit) matches win; when the reference has no
+	// record at the current record's procs — a legacy procs-less snapshot,
+	// or a snapshot taken at a different GOMAXPROCS — any record of the
+	// same name stands in, because checksums are deterministic series sums
+	// that may not depend on procs at all (that independence being exactly
+	// what this gate enforces).
+	exact := make(map[string]float64)
+	byName := make(map[string]float64)
 	for _, b := range ref.Benchmarks {
 		for unit, v := range b.Metrics {
 			if checksumUnit(unit) {
-				refVals[b.Name+" "+unit] = v
+				exact[fmt.Sprintf("%s\x00%d\x00%s", b.Name, b.Procs, unit)] = v
+				if _, seen := byName[b.Name+"\x00"+unit]; !seen {
+					byName[b.Name+"\x00"+unit] = v
+				}
 			}
 		}
 	}
@@ -278,7 +385,10 @@ func checkSeries(sum *Summary, path string) error {
 			if !checksumUnit(unit) {
 				continue
 			}
-			want, ok := refVals[b.Name+" "+unit]
+			want, ok := exact[fmt.Sprintf("%s\x00%d\x00%s", b.Name, b.Procs, unit)]
+			if !ok {
+				want, ok = byName[b.Name+"\x00"+unit]
+			}
 			if !ok {
 				continue // new benchmark: nothing to compare against
 			}
@@ -286,7 +396,7 @@ func checkSeries(sum *Summary, path string) error {
 			//lint:ignore floateq checksums are deterministic; any ulp of drift is a real behavior change
 			if v != want {
 				mismatches = append(mismatches,
-					fmt.Sprintf("%s %s: got %v, reference %v", b.Name, unit, v, want))
+					fmt.Sprintf("%s %s: got %v, reference %v", b.label(), unit, v, want))
 			}
 		}
 	}
@@ -308,9 +418,12 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	name := fields[0]
-	// Strip the trailing -GOMAXPROCS suffix the bench runner appends.
+	// The bench runner appends a -GOMAXPROCS suffix when procs ≠ 1; parse
+	// it into the record key so runs at different widths stay distinct.
+	procs := 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			procs = p
 			name = name[:i]
 		}
 	}
@@ -327,5 +440,5 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 		metrics[fields[i+1]] = v
 	}
-	return Benchmark{Name: name, Iterations: iters, Metrics: metrics}, true
+	return Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
 }

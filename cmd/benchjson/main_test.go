@@ -132,7 +132,9 @@ func TestCheckSeriesDriftFails(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "drifted") {
 		t.Fatalf("want drift error, got %v", err)
 	}
-	if !strings.Contains(err.Error(), "Fig4Smoothing series-sum") {
+	// Records carry their GOMAXPROCS in the label, matching the raw
+	// `go test` line the user would grep for.
+	if !strings.Contains(err.Error(), "Fig4Smoothing-4 series-sum") {
 		t.Errorf("drift error does not name the metric: %v", err)
 	}
 	// The summary file is still written for inspection.
@@ -322,5 +324,168 @@ func TestCheckPerfNewPinInReferenceSkipped(t *testing.T) {
 	var stdout bytes.Buffer
 	if err := run([]string{"-out", outPath, "-check-perf", refPath}, strings.NewReader(sample), &stdout); err != nil {
 		t.Fatalf("run with pin absent from reference: %v", err)
+	}
+}
+
+// matrixSample is one bench run captured at two GOMAXPROCS widths — the
+// parallel-kernel CI matrix. MPCStep appears both at -8 and without a
+// suffix (GOMAXPROCS=1); the remaining pinned benchmarks ran once at -8.
+const matrixSample = `BenchmarkMPCStep-8 	   13701	     20000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMPCStep 	    3000	     80000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkReferenceLP/Warm-8 	  361116	      3007 ns/op
+BenchmarkMPCStepScaling/C20xN10-8 	     100	  14000000 ns/op
+BenchmarkMPCStepScaling/C50xN20-8 	      50	  21000000 ns/op
+BenchmarkSimplexScaling/C50xN20-8 	     200	   5000000 ns/op
+BenchmarkSimplexScaling/C100xN20-8 	    100	  20000000 ns/op
+PASS
+ok  	repro	2.459s
+`
+
+// TestParseKeepsProcsDistinct pins the record key: the same benchmark
+// captured at GOMAXPROCS 8 and 1 yields two records that do not collide,
+// each remembering the procs it ran under.
+func TestParseKeepsProcsDistinct(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath}, strings.NewReader(matrixSample), &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	var wide, narrow *Benchmark
+	for i := range sum.Benchmarks {
+		b := &sum.Benchmarks[i]
+		if b.Name != "MPCStep" {
+			continue
+		}
+		switch b.Procs {
+		case 8:
+			wide = b
+		case 1:
+			narrow = b
+		default:
+			t.Errorf("MPCStep record at unexpected procs %d", b.Procs)
+		}
+	}
+	if wide == nil || narrow == nil {
+		t.Fatalf("want MPCStep at procs 8 and 1, got wide=%v narrow=%v", wide, narrow)
+	}
+	if wide.Metrics["ns/op"] != 20000 || narrow.Metrics["ns/op"] != 80000 {
+		t.Errorf("procs records swapped or merged: wide %v, narrow %v", wide.Metrics, narrow.Metrics)
+	}
+	if wide.label() != "MPCStep-8" || narrow.label() != "MPCStep" {
+		t.Errorf("labels = %q/%q, want MPCStep-8/MPCStep", wide.label(), narrow.label())
+	}
+}
+
+// writeMatrixRef writes a reference summary holding MPCStep at two procs
+// widths plus the other pins, and returns its path.
+func writeMatrixRef(t *testing.T, wideNs, narrowNs float64) string {
+	t.Helper()
+	ref := Summary{Benchmarks: []Benchmark{
+		{Name: "MPCStep", Procs: 8, Iterations: 13000, Metrics: map[string]float64{"ns/op": wideNs}},
+		{Name: "MPCStep", Procs: 1, Iterations: 3000, Metrics: map[string]float64{"ns/op": narrowNs}},
+		{Name: "ReferenceLP/Warm", Procs: 8, Iterations: 300000, Metrics: map[string]float64{"ns/op": 3200}},
+		{Name: "MPCStepScaling/C20xN10", Procs: 8, Iterations: 100, Metrics: map[string]float64{"ns/op": 14000000}},
+		{Name: "MPCStepScaling/C50xN20", Procs: 8, Iterations: 50, Metrics: map[string]float64{"ns/op": 21000000}},
+		{Name: "SimplexScaling/C50xN20", Procs: 8, Iterations: 200, Metrics: map[string]float64{"ns/op": 5000000}},
+		{Name: "SimplexScaling/C100xN20", Procs: 8, Iterations: 100, Metrics: map[string]float64{"ns/op": 20000000}},
+	}}
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "matrixref.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckPerfComparesLikeForLikeProcs pins that a parallel record is
+// never judged against a serial reference: the -8 and procs-1 captures
+// each compare only against the reference at their own width. If the
+// serial run (80000 ns/op) were compared against the wide reference
+// (19000) it would read as a +321% regression; like-for-like passes.
+func TestCheckPerfComparesLikeForLikeProcs(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := writeMatrixRef(t, 19000, 78000)
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(matrixSample), &stdout); err != nil {
+		t.Fatalf("like-for-like matrix comparison: %v", err)
+	}
+}
+
+// TestCheckPerfRegressionNamesProcs pins that a regression at one width
+// is reported under that width's label only: the serial MPCStep capture
+// regressed, the parallel one did not.
+func TestCheckPerfRegressionNamesProcs(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := writeMatrixRef(t, 19000, 40000) // serial 80000 vs 40000 = +100%
+	var stdout bytes.Buffer
+	err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(matrixSample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("want serial-width regression error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "MPCStep:") {
+		t.Errorf("regression error does not use the serial label: %v", err)
+	}
+	if strings.Contains(err.Error(), "MPCStep-8") {
+		t.Errorf("regression error blames the healthy parallel record: %v", err)
+	}
+}
+
+// TestCheckPerfLegacyRefMatchesAnyProcs pins backward compatibility:
+// summaries written before procs keying (records carry procs 0) remain
+// usable as baselines for records captured at any width.
+func TestCheckPerfLegacyRefMatchesAnyProcs(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	// writePerfRef emits no Procs field → legacy 0 records.
+	ref := writePerfRef(t, 80000, 3200)
+	var stdout bytes.Buffer
+	// Both MPCStep widths (20000 and 80000) compare against the legacy
+	// 80000 reference; neither regresses.
+	if err := run([]string{"-out", outPath, "-check-perf", ref}, strings.NewReader(matrixSample), &stdout); err != nil {
+		t.Fatalf("legacy reference vs matrix run: %v", err)
+	}
+	// And the legacy fallback really compares (not a vacuous skip): shrink
+	// the baseline and both widths must regress, under both labels.
+	tight := writePerfRef(t, 10000, 3200)
+	err := run([]string{"-out", outPath, "-check-perf", tight}, strings.NewReader(matrixSample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "MPCStep-8") || !strings.Contains(err.Error(), "MPCStep:") {
+		t.Fatalf("legacy fallback did not gate both widths: %v", err)
+	}
+}
+
+// TestCheckSeriesExactProcsWins pins checksum lookup order: when the
+// reference holds the same benchmark at two widths, the record compares
+// against its own width first, falling back to name-only matching only
+// when no exact record exists.
+func TestCheckSeriesExactProcsWins(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	ref := Summary{Benchmarks: []Benchmark{
+		// Same name at another width with a drifted checksum: must lose to
+		// the exact procs-4 record below.
+		{Name: "Fig4Smoothing", Procs: 1, Iterations: 10, Metrics: map[string]float64{"series-sum": 1}},
+		{Name: "Fig4Smoothing", Procs: 4, Iterations: 10, Metrics: map[string]float64{"series-sum": 5903135, "MW-sum": 42.5}},
+		{Name: "AllExperiments", Procs: 4, Iterations: 1, Metrics: map[string]float64{"series-sum": 5903135}},
+	}}
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(t.TempDir(), "ref.json")
+	if err := os.WriteFile(refPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outPath, "-check-series", refPath}, strings.NewReader(seriesSample), &stdout); err != nil {
+		t.Fatalf("exact-procs checksum match: %v", err)
 	}
 }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+func fleetControllers(t *testing.T, n int) []*Controller {
+	t.Helper()
+	cs := make([]*Controller, n)
+	for i := range cs {
+		c, err := New(baseConfig())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		cs[i] = c
+	}
+	return cs
+}
+
+// TestCoreStepAllMatchesSerial pins end-to-end fleet determinism at the
+// controller layer: N tenants stepped on the pool emit, step after step,
+// telemetry bit-identical to an identical fleet stepped serially.
+func TestCoreStepAllMatchesSerial(t *testing.T) {
+	const fleet = 5
+	pooled := fleetControllers(t, fleet)
+	serial := fleetControllers(t, fleet)
+	pool := par.NewPool(context.Background(), 3)
+	defer pool.Close()
+	demands := make([][]float64, fleet)
+	for i := range demands {
+		demands[i] = workload.TableI()
+	}
+	tels := make([]*Telemetry, fleet)
+	errs := make([]error, fleet)
+	for step := 0; step < 6; step++ {
+		if err := StepAll(pool, pooled, demands, tels, errs); err != nil {
+			t.Fatalf("step %d: StepAll: %v", step, err)
+		}
+		for i := range serial {
+			want, err := serial[i].Step(demands[i])
+			if err != nil {
+				t.Fatalf("step %d: serial Step %d: %v", step, i, err)
+			}
+			got := tels[i]
+			//lint:ignore floateq pooled and serial fleets must agree bit-for-bit
+			if got.CostRate != want.CostRate || got.CumulativeCost != want.CumulativeCost {
+				t.Fatalf("step %d: tenant %d cost diverged: pooled (%g, %g) vs serial (%g, %g)",
+					step, i, got.CostRate, got.CumulativeCost, want.CostRate, want.CumulativeCost)
+			}
+			for j := range want.U {
+				//lint:ignore floateq pooled and serial fleets must agree bit-for-bit
+				if got.U[j] != want.U[j] {
+					t.Fatalf("step %d: tenant %d U[%d] diverged", step, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCoreStepAllValidation(t *testing.T) {
+	cs := fleetControllers(t, 2)
+	demands := [][]float64{workload.TableI(), workload.TableI()}
+	tels := make([]*Telemetry, 2)
+	errs := make([]error, 2)
+	if err := StepAll(nil, cs, demands[:1], tels, errs); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("short demands: %v", err)
+	}
+	dup := []*Controller{cs[0], cs[0]}
+	if err := StepAll(nil, dup, demands, tels, errs); !errors.Is(err, ErrBadConfig) || !strings.Contains(err.Error(), "same *Controller") {
+		t.Fatalf("duplicate controller: %v", err)
+	}
+	if err := StepAll(nil, []*Controller{cs[0], nil}, demands, tels, errs); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil controller: %v", err)
+	}
+}
+
+// TestCoreStepAllPartialFailure pins that one tenant's bad input fails
+// only that shard: the rest of the fleet still advances and the returned
+// error is the lowest failing index.
+func TestCoreStepAllPartialFailure(t *testing.T) {
+	const fleet = 4
+	cs := fleetControllers(t, fleet)
+	demands := make([][]float64, fleet)
+	for i := range demands {
+		demands[i] = workload.TableI()
+	}
+	demands[1] = demands[1][:2] // tenant 1 fails portal-count validation
+	pool := par.NewPool(context.Background(), 2)
+	defer pool.Close()
+	tels := make([]*Telemetry, fleet)
+	errs := make([]error, fleet)
+	err := StepAll(pool, cs, demands, tels, errs)
+	if err == nil || !strings.Contains(err.Error(), "controller 1") {
+		t.Fatalf("StepAll error = %v, want failure at tenant 1", err)
+	}
+	for i := range cs {
+		if i == 1 {
+			if errs[i] == nil {
+				t.Error("tenant 1 did not report its error")
+			}
+			continue
+		}
+		if errs[i] != nil || tels[i] == nil {
+			t.Errorf("healthy tenant %d: err=%v tel=%v", i, errs[i], tels[i])
+		}
+	}
+}

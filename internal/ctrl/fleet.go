@@ -1,0 +1,84 @@
+package ctrl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/par"
+)
+
+// Fleet stepping: solve N independent MPC problems per control interval on
+// a shared worker pool. This is the throughput shape of ROADMAP Open
+// item 1's multi-tenant daemon — hundreds of tenants, each a controller
+// with its own model, condensed cache, and QP workspace, all due every Ts.
+//
+// Workspace sharing rule (see also qp.Workspace): one MPC owns one QP
+// workspace and one scratch arena, none of it synchronized, so one MPC
+// must never be stepped from two goroutines at once. StepAll enforces the
+// fleet-level corollary — every controller in one call must be a distinct
+// *MPC — and the pool guarantees each index is dispatched exactly once,
+// which together make the fan-out race-free without any locking in the
+// step path.
+
+// fleetTask carries one StepAll dispatch across the pool; index i steps
+// controller i. Reused via fleetTaskPool so a steady fleet step allocates
+// nothing.
+type fleetTask struct {
+	ms   []*MPC
+	ins  []StepInput
+	outs []*StepOutput
+	errs []error
+}
+
+func (t *fleetTask) Do(start, end int) {
+	for i := start; i < end; i++ {
+		t.outs[i], t.errs[i] = t.ms[i].Step(t.ins[i])
+	}
+}
+
+var fleetTaskPool = sync.Pool{New: func() any { return new(fleetTask) }}
+
+// StepAll steps every controller with its matching input, writing
+// outs[i], errs[i] for each index: on p when a pool is supplied, on the
+// calling goroutine otherwise. It returns after ALL controllers have
+// stepped; the returned error is the lowest-index per-controller error (so
+// the result is deterministic however the pool interleaved the shards), or
+// nil if every step succeeded.
+//
+// ms, ins, outs and errs must all have equal length, and the controllers
+// must be pairwise distinct — each MPC owns unsynchronized workspace, so
+// stepping one from two shards at once would race. Outputs follow the
+// usual StepOutput ownership rule: outs[i] points into controller i's
+// scratch and is overwritten by that controller's next step.
+//
+// In steady state (condensed caches warm, scratch grown) a StepAll
+// performs zero heap allocations — per shard and in the dispatch itself —
+// pinned by TestStepAllSteadyStateAllocFree.
+func StepAll(p *par.Pool, ms []*MPC, ins []StepInput, outs []*StepOutput, errs []error) error {
+	if len(ins) != len(ms) || len(outs) != len(ms) || len(errs) != len(ms) {
+		return fmt.Errorf("fleet slices disagree: %d controllers, %d inputs, %d outputs, %d errors: %w",
+			len(ms), len(ins), len(outs), len(errs), ErrBadConfig)
+	}
+	for i, m := range ms {
+		if m == nil {
+			return fmt.Errorf("controller %d is nil: %w", i, ErrBadConfig)
+		}
+		for j := i + 1; j < len(ms); j++ {
+			if ms[j] == m {
+				return fmt.Errorf("controllers %d and %d are the same *MPC; each owns unsynchronized workspace: %w",
+					i, j, ErrBadConfig)
+			}
+		}
+	}
+	t := fleetTaskPool.Get().(*fleetTask)
+	t.ms, t.ins, t.outs, t.errs = ms, ins, outs, errs
+	p.Run(len(ms), t)
+	t.ms, t.ins, t.outs, t.errs = nil, nil, nil, nil
+	fleetTaskPool.Put(t)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("controller %d: %w", i, err)
+		}
+	}
+	return nil
+}

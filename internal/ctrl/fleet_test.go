@@ -1,0 +1,183 @@
+package ctrl
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/testenv"
+	"repro/internal/workload"
+)
+
+// fleetRig builds n independent controllers with identical (but separately
+// owned) models and inputs, so the serial reference and the pooled fleet
+// start from the same problem.
+func fleetRig(t *testing.T, n int) ([]*MPC, []StepInput) {
+	t.Helper()
+	ms := make([]*MPC, n)
+	ins := make([]StepInput, n)
+	for i := range ms {
+		model := newTestModel(t, testPrices6H, 30)
+		u0, servers := feasibleStart(t, testPrices6H)
+		refPower, err := model.PowerRates(u0, servers)
+		if err != nil {
+			t.Fatalf("PowerRates: %v", err)
+		}
+		mpc, err := NewMPC(MPCConfig{PowerWeight: 1, SmoothWeight: 6})
+		if err != nil {
+			t.Fatalf("NewMPC: %v", err)
+		}
+		ms[i] = mpc
+		ins[i] = StepInput{
+			Model:    model,
+			State:    make([]float64, model.StateDim()),
+			PrevU:    u0,
+			Servers:  servers,
+			Demands:  workload.TableI(),
+			RefPower: refPower,
+		}
+	}
+	return ms, ins
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//lint:ignore floateq pooled and serial fleets must agree bit-for-bit
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStepAllMatchesSerial pins fleet determinism: stepping N controllers
+// on the pool produces, per controller and bit-for-bit, the moves that
+// stepping an identical fleet serially produces — across several steps so
+// warm-start state evolves identically too.
+func TestStepAllMatchesSerial(t *testing.T) {
+	const fleet = 6
+	pooled, pooledIns := fleetRig(t, fleet)
+	serial, serialIns := fleetRig(t, fleet)
+	pool := par.NewPool(context.Background(), 3)
+	defer pool.Close()
+	outs := make([]*StepOutput, fleet)
+	errs := make([]error, fleet)
+	for step := 0; step < 4; step++ {
+		if err := StepAll(pool, pooled, pooledIns, outs, errs); err != nil {
+			t.Fatalf("step %d: StepAll: %v", step, err)
+		}
+		for i := range serial {
+			want, err := serial[i].Step(serialIns[i])
+			if err != nil {
+				t.Fatalf("step %d: serial Step %d: %v", step, i, err)
+			}
+			if !sameVec(outs[i].DeltaU, want.DeltaU) || !sameVec(outs[i].U, want.U) {
+				t.Fatalf("step %d: controller %d pooled move differs from serial", step, i)
+			}
+			if outs[i].QPIterations != want.QPIterations {
+				t.Fatalf("step %d: controller %d took %d QP iterations pooled, %d serial",
+					step, i, outs[i].QPIterations, want.QPIterations)
+			}
+		}
+	}
+}
+
+// TestStepAllNilPoolStepsSerially covers the degraded mode: no pool at all
+// must behave exactly like the pooled call, on the calling goroutine.
+func TestStepAllNilPoolStepsSerially(t *testing.T) {
+	ms, ins := fleetRig(t, 3)
+	outs := make([]*StepOutput, 3)
+	errs := make([]error, 3)
+	if err := StepAll(nil, ms, ins, outs, errs); err != nil {
+		t.Fatalf("StepAll(nil pool): %v", err)
+	}
+	for i, out := range outs {
+		if out == nil {
+			t.Fatalf("controller %d produced no output", i)
+		}
+	}
+}
+
+func TestStepAllValidation(t *testing.T) {
+	ms, ins := fleetRig(t, 2)
+	outs := make([]*StepOutput, 2)
+	errs := make([]error, 2)
+	if err := StepAll(nil, ms, ins[:1], outs, errs); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("short ins: %v", err)
+	}
+	if err := StepAll(nil, ms, ins, outs[:1], errs); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("short outs: %v", err)
+	}
+	if err := StepAll(nil, ms, ins, outs, errs[:1]); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("short errs: %v", err)
+	}
+	dup := []*MPC{ms[0], ms[0]}
+	if err := StepAll(nil, dup, ins, outs, errs); !errors.Is(err, ErrBadConfig) || !strings.Contains(err.Error(), "same *MPC") {
+		t.Fatalf("duplicate controller: %v", err)
+	}
+	none := []*MPC{ms[0], nil}
+	if err := StepAll(nil, none, ins, outs, errs); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil controller: %v", err)
+	}
+}
+
+// TestStepAllFirstErrorDeterministic pins the error contract: every shard
+// steps, per-index errors land in errs, and the returned error is the
+// lowest failing index no matter how the pool interleaved the work.
+func TestStepAllFirstErrorDeterministic(t *testing.T) {
+	const fleet = 6
+	ms, ins := fleetRig(t, fleet)
+	ins[2].Demands = ins[2].Demands[:1] // shard 2 fails validation
+	ins[4].Demands = ins[4].Demands[:1] // shard 4 fails validation
+	pool := par.NewPool(context.Background(), 4)
+	defer pool.Close()
+	outs := make([]*StepOutput, fleet)
+	errs := make([]error, fleet)
+	err := StepAll(pool, ms, ins, outs, errs)
+	if err == nil || !strings.Contains(err.Error(), "controller 2") {
+		t.Fatalf("StepAll error = %v, want lowest failing index 2", err)
+	}
+	for i := range ms {
+		failed := i == 2 || i == 4
+		if (errs[i] != nil) != failed {
+			t.Errorf("errs[%d] = %v, want failure=%t", i, errs[i], failed)
+		}
+		if !failed && outs[i] == nil {
+			t.Errorf("healthy controller %d did not step", i)
+		}
+	}
+}
+
+// TestStepAllSteadyStateAllocFree extends the PR 2 zero-allocation pin to
+// the fleet: with every condensed cache warm, a pooled StepAll over N
+// controllers — shards running concurrently — performs zero heap
+// allocations in total, dispatch included.
+func TestStepAllSteadyStateAllocFree(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const fleet = 4
+	ms, ins := fleetRig(t, fleet)
+	pool := par.NewPool(context.Background(), fleet)
+	defer pool.Close()
+	outs := make([]*StepOutput, fleet)
+	errs := make([]error, fleet)
+	for i := 0; i < 3; i++ { // warm caches, grow scratch
+		if err := StepAll(pool, ms, ins, outs, errs); err != nil {
+			t.Fatalf("warmup StepAll: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := StepAll(pool, ms, ins, outs, errs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state StepAll allocated %v allocs/run, want 0", allocs)
+	}
+}

@@ -443,8 +443,11 @@ func (m *MPC) pointFeasible(z []float64, cd *condensed, beq, bin []float64) bool
 		if err := constraintMulVec(v, cd.aeq, cd.aeqS, z); err != nil {
 			return false
 		}
+		// The row tolerance is loop-invariant: hoisting the norm out of the
+		// row loop computes the exact same scale once instead of O(rows)
+		// times, so every accept/reject decision is unchanged.
+		scale := 1 + mat.NormInfVec(beq)
 		for i := range beq {
-			scale := 1 + mat.NormInfVec(beq)
 			if diff := v[i] - beq[i]; diff > tol*scale || diff < -tol*scale {
 				return false
 			}
@@ -456,8 +459,10 @@ func (m *MPC) pointFeasible(z []float64, cd *condensed, beq, bin []float64) bool
 		if err := constraintMulVec(v, cd.ain, cd.ainS, z); err != nil {
 			return false
 		}
+		// Same hoist as the equality rows: one norm, identical decisions.
+		binTol := tol * (1 + mat.NormInfVec(bin))
 		for i := range bin {
-			if v[i] > bin[i]+tol*(1+mat.NormInfVec(bin)) {
+			if v[i] > bin[i]+binTol {
 				return false
 			}
 		}

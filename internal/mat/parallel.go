@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// Multicore dispatch for the blocked kernels. A process that wants
+// parallel kernels registers a par.Pool once (SetPool); the blocked paths
+// then fan their tile loops out over the pool when a product or trailing
+// update is large enough to amortize the dispatch. The fan-outs only ever
+// split work ACROSS disjoint output regions — j-tiles of dst in the
+// matmul, trailing rows in the factorizations — so each element's
+// accumulation chain is untouched and parallel results are bit-identical
+// to the serial blocked path (and therefore, by DESIGN.md §3.10, to the
+// naive loops). DESIGN.md §3.12 carries the full argument.
+//
+// Every threshold below is far above paper-scale sizes, so checksummed
+// runs never see the pool even when one is registered; SetForceSerial is
+// the belt-and-braces escape hatch mirroring MPCConfig.ForceDense.
+
+// parMulMinFlops gates the parallel matmul: rows·inner·cols must meet it
+// (4× the serial blocked threshold) before a dispatch is worth its barrier.
+// A var, not a const, so the fuzz targets can drive the parallel path at
+// fuzzer-chosen small sizes.
+var parMulMinFlops = 1 << 22
+
+// parFactorMinRows gates the parallel trailing updates in the blocked
+// factorizations: the fanned-out row range must be at least this tall.
+// A var for the same fuzz reason as parMulMinFlops.
+var parFactorMinRows = 256
+
+var (
+	kernelPool  atomic.Pointer[par.Pool]
+	forceSerial atomic.Bool
+)
+
+// SetPool registers the worker pool the blocked kernels may dispatch tile
+// loops onto; nil (the default) keeps every kernel serial. The registry is
+// process-wide and safe to swap at any time — kernels pick the pool up at
+// their next dispatch decision.
+func SetPool(p *par.Pool) {
+	kernelPool.Store(p)
+}
+
+// SetForceSerial pins every kernel to the serial path even when a pool is
+// registered — the kernel-level analogue of MPCConfig.ForceDense, used by
+// bit-identity tests and available to operators chasing a suspected
+// scheduling bug. Results cannot differ either way; this only removes the
+// concurrency.
+func SetForceSerial(v bool) {
+	forceSerial.Store(v)
+}
+
+// activePool returns the pool the next kernel dispatch should use, or nil
+// for serial.
+func activePool() *par.Pool {
+	if forceSerial.Load() {
+		return nil
+	}
+	return kernelPool.Load()
+}
+
+// mulTask fans blockedMulInto's j-tile loop over the pool: tile t covers
+// dst columns [t·mulTileJ, (t+1)·mulTileJ). Workers own disjoint column
+// tiles and pack private B panels, so the only shared reads are a and b.
+type mulTask struct {
+	dst, a, b *Dense
+}
+
+func (t *mulTask) Do(start, end int) {
+	pp := panelPool.Get().(*[]float64)
+	mulTileRange(t.dst, t.a, t.b, start, end, *pp)
+	panelPool.Put(pp)
+}
+
+// mulTaskPool recycles dispatch descriptors so a pooled matmul allocates
+// nothing once warm (mirrors panelPool).
+var mulTaskPool = sync.Pool{New: func() any { return new(mulTask) }}
+
+// cholTask fans one panel's deferred trailing update over the pool: index
+// i covers matrix row p0+i. Each row's update reads only columns < p0 —
+// finalized by earlier panels — and writes only its own row, so rows are
+// independent.
+type cholTask struct {
+	ld     []float64
+	n      int
+	p0, p1 int
+}
+
+func (t *cholTask) Do(start, end int) {
+	cholUpdateRows(t.ld, t.n, t.p0, t.p1, t.p0+start, t.p0+end)
+}
+
+var cholTaskPool = sync.Pool{New: func() any { return new(cholTask) }}
+
+// luTask fans the rectangular phase of one (panel, k-tile) deferred update
+// over the pool: index i covers matrix row k1+i. Every such row reads only
+// pivot rows [k0, k1) — finalized by the serial triangular phase that runs
+// first — and writes only its own row.
+type luTask struct {
+	ld     []float64
+	n      int
+	k0, k1 int
+	p0, p1 int
+}
+
+func (t *luTask) Do(start, end int) {
+	luUpdateRows(t.ld, t.n, t.k0, t.k1, t.p0, t.p1, t.k1+start, t.k1+end)
+}
+
+var luTaskPool = sync.Pool{New: func() any { return new(luTask) }}

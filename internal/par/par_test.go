@@ -1,0 +1,240 @@
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/testenv"
+)
+
+// coverTask marks every index it is handed, counting how many times each
+// one is visited, so tests can assert exact [0, n) coverage.
+type coverTask struct {
+	hits []atomic.Int32
+}
+
+func (c *coverTask) Do(start, end int) {
+	for i := start; i < end; i++ {
+		c.hits[i].Add(1)
+	}
+}
+
+func (c *coverTask) verify(t *testing.T, n int) {
+	t.Helper()
+	if len(c.hits) != n {
+		t.Fatalf("coverTask over %d indices, want %d", len(c.hits), n)
+	}
+	for i := range c.hits {
+		if got := c.hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times, want exactly once", i, got)
+		}
+	}
+}
+
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		for _, n := range []int{1, 2, 3, 5, 16, 97, 1024} {
+			p := NewPool(context.Background(), workers)
+			task := &coverTask{hits: make([]atomic.Int32, n)}
+			p.Run(n, task)
+			task.verify(t, n)
+			p.Close()
+		}
+	}
+}
+
+func TestRunReusesPoolAcrossDispatches(t *testing.T) {
+	p := NewPool(context.Background(), 3)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		n := 1 + round*7%130
+		task := &coverTask{hits: make([]atomic.Int32, n)}
+		p.Run(n, task)
+		task.verify(t, n)
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	p := NewPool(context.Background(), 2)
+	defer p.Close()
+	ran := false
+	p.RunFunc(0, func(start, end int) { ran = true })
+	p.RunFunc(-3, func(start, end int) { ran = true })
+	if ran {
+		t.Fatal("task ran for n <= 0")
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	task := &coverTask{hits: make([]atomic.Int32, 40)}
+	p.Run(40, task)
+	task.verify(t, 40)
+}
+
+func TestStoppedPoolRunsInline(t *testing.T) {
+	p := NewPool(context.Background(), 2)
+	p.Close()
+	if !p.Stopped() {
+		t.Fatal("Stopped() = false after Close")
+	}
+	task := &coverTask{hits: make([]atomic.Int32, 64)}
+	p.Run(64, task)
+	task.verify(t, 64)
+}
+
+func TestContextCancelStopsPool(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, 2)
+	task := &coverTask{hits: make([]atomic.Int32, 32)}
+	p.Run(32, task)
+	task.verify(t, 32)
+	cancel()
+	// AfterFunc runs Close on its own goroutine; Close here synchronizes
+	// with it (idempotent) so the workers are provably gone afterwards.
+	p.Close()
+	if !p.Stopped() {
+		t.Fatal("pool not stopped after context cancel")
+	}
+	after := &coverTask{hits: make([]atomic.Int32, 32)}
+	p.Run(32, after)
+	after.verify(t, 32)
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	p := NewPool(context.Background(), 2)
+	p.Close()
+	p.Close()
+	p.Close()
+}
+
+// nestedTask re-dispatches on the same pool from inside a worker; the
+// inner Run must fall back to inline execution instead of deadlocking.
+type nestedTask struct {
+	pool  *Pool
+	inner []atomic.Int32
+	outer []atomic.Int32
+}
+
+func (nt *nestedTask) Do(start, end int) {
+	for i := start; i < end; i++ {
+		nt.outer[i].Add(1)
+	}
+	nt.pool.Run(len(nt.inner), TaskFunc(func(s, e int) {
+		for i := s; i < e; i++ {
+			nt.inner[i].Add(1)
+		}
+	}))
+}
+
+func TestNestedRunFallsBackInline(t *testing.T) {
+	p := NewPool(context.Background(), 4)
+	defer p.Close()
+	const outerN, innerN = 8, 16
+	nt := &nestedTask{
+		pool:  p,
+		inner: make([]atomic.Int32, innerN),
+		outer: make([]atomic.Int32, outerN),
+	}
+	p.Run(outerN, nt)
+	for i := range nt.outer {
+		if got := nt.outer[i].Load(); got != 1 {
+			t.Fatalf("outer index %d visited %d times, want 1", i, got)
+		}
+	}
+	// Every outer index ran the inner loop once (inline), so each inner
+	// index is visited exactly outerN times.
+	for i := range nt.inner {
+		if got := nt.inner[i].Load(); got != outerN {
+			t.Fatalf("inner index %d visited %d times, want %d", i, got, outerN)
+		}
+	}
+}
+
+func TestConcurrentRunsStayCorrect(t *testing.T) {
+	p := NewPool(context.Background(), 3)
+	defer p.Close()
+	const goroutines, rounds, n = 8, 25, 200
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer func() { errs <- nil }()
+			for r := 0; r < rounds; r++ {
+				task := &coverTask{hits: make([]atomic.Int32, n)}
+				p.Run(n, task)
+				for i := range task.hits {
+					if task.hits[i].Load() != 1 {
+						panic("index not covered exactly once")
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-errs
+	}
+}
+
+func TestWorkerPanicPropagatesToRun(t *testing.T) {
+	p := NewPool(context.Background(), 4)
+	defer p.Close()
+	task := &coverTask{hits: make([]atomic.Int32, 64)}
+	for round := 0; round < 25; round++ {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			p.RunFunc(64, func(start, end int) {
+				if start <= 17 && 17 < end {
+					panic("kernel bug")
+				}
+			})
+			return nil
+		}()
+		if got != "kernel bug" {
+			t.Fatalf("round %d: recovered %v, want %q", round, got, "kernel bug")
+		}
+		// The pool must stay fully usable after a task panic.
+		for i := range task.hits {
+			task.hits[i].Store(0)
+		}
+		p.Run(64, task)
+		task.verify(t, 64)
+	}
+}
+
+func TestDefaultWorkerCountIsGOMAXPROCS(t *testing.T) {
+	p := NewPool(context.Background(), 0)
+	defer p.Close()
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// reusableTask is the hot-path dispatch shape: a preallocated struct whose
+// pointer converts to the Task interface without boxing.
+type reusableTask struct {
+	dst []float64
+}
+
+func (rt *reusableTask) Do(start, end int) {
+	for i := start; i < end; i++ {
+		rt.dst[i] = float64(i)
+	}
+}
+
+func TestPoolRunAllocFree(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	p := NewPool(context.Background(), 4)
+	defer p.Close()
+	task := &reusableTask{dst: make([]float64, 4096)}
+	p.Run(len(task.dst), task) // warm once
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(len(task.dst), task)
+	})
+	if allocs != 0 {
+		t.Fatalf("Pool.Run allocated %.1f times per dispatch, want 0", allocs)
+	}
+}
