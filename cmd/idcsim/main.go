@@ -7,6 +7,14 @@
 //	idcsim -steps 140 -ts 30 -start-hour 6 -smooth 6
 //	idcsim -budgets 5.13,10.26,4.275        # peak shaving, budgets in MW
 //	idcsim -diurnal -steps 2880             # a full synthetic day
+//	demand-producer | idcsim -feed - -steps 1000   # live JSONL demand feed
+//
+// -feed drives the portals from a JSONL sample stream (one
+// {"seq":k,"values":[...]} object per line, "-" for stdin), so the sim can
+// be driven live by another process; the run ends cleanly with the partial
+// series if the stream ends early. -stale-ticks N tolerates N consecutive
+// price-model failures on held prices (the controller reports
+// "stale-price" mode) before giving up.
 package main
 
 import (
@@ -26,7 +34,9 @@ import (
 	"syscall"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/feed"
 	"repro/internal/idc"
 	"repro/internal/obs"
 	"repro/internal/price"
@@ -64,6 +74,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 	budgetsFlag := fs.String("budgets", "", "per-IDC budgets in MW, comma separated (peak shaving)")
 	diurnal := fs.Bool("diurnal", false, "drive portals with a diurnal workload instead of Table I")
 	workloadTrace := fs.String("workload-trace", "", "replay a recorded rate trace (one rate per line or CSV) across the portals, scaled by the Table I proportions")
+	feedPath := fs.String("feed", "", "drive portal demands from a JSONL sample stream, one {\"seq\":k,\"values\":[...]} per line ('-' = stdin)")
+	staleTicks := fs.Int("stale-ticks", 0, "tolerate this many consecutive slow ticks on held prices when the price model fails (0 = fail fast)")
 	priceTrace := fs.String("price-trace", "", "load hourly price traces from CSV (header: hour,region,...) instead of the embedded ones")
 	seed := fs.Int64("seed", 1, "seed for the diurnal workload")
 	stochastic := fs.Bool("stochastic-prices", false, "use the bid-stack stochastic price model")
@@ -134,7 +146,15 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 		sc.TraceWriter = traceW
 		sc.Metrics = metricsReg
-		return emitMaybePartial(ctx, sc, emit, out)
+		closeFeed, ferr := applyFeedFlags(&sc, *feedPath, *staleTicks)
+		if ferr != nil {
+			return ferr
+		}
+		rerr := emitMaybePartial(ctx, sc, emit, out)
+		if cerr := closeFeed(); rerr == nil {
+			rerr = cerr
+		}
+		return rerr
 	}
 
 	top := idc.PaperTopology()
@@ -237,7 +257,45 @@ func runCtx(ctx context.Context, args []string, out io.Writer) (err error) {
 		sc.Demands = portals.Demands
 	}
 
+	closeFeed, ferr := applyFeedFlags(&sc, *feedPath, *staleTicks)
+	if ferr != nil {
+		return ferr
+	}
+	defer func() {
+		if cerr := closeFeed(); err == nil {
+			err = cerr
+		}
+	}()
 	return emitMaybePartial(ctx, sc, emit, out)
+}
+
+// applyFeedFlags wires -feed (a JSONL demand-sample stream; "-" = stdin)
+// and -stale-ticks (the price-feed hold budget, core.FeedPolicy) into sc.
+// The returned closer releases the feed file; it is a no-op for stdin or
+// when -feed is unset.
+func applyFeedFlags(sc *sim.Scenario, feedPath string, staleTicks int) (func() error, error) {
+	closer := func() error { return nil }
+	if feedPath != "" {
+		if sc.Demands != nil || sc.DemandSource != nil {
+			return nil, errors.New("-feed conflicts with -diurnal, -workload-trace and config-file demands")
+		}
+		var r io.Reader
+		if feedPath == "-" {
+			r = bufio.NewReader(os.Stdin)
+		} else {
+			f, err := os.Open(feedPath)
+			if err != nil {
+				return nil, fmt.Errorf("feed: %w", err)
+			}
+			closer = f.Close
+			r = bufio.NewReader(f)
+		}
+		sc.DemandSource = feed.FromJSONL(r)
+	}
+	if staleTicks > 0 {
+		sc.FeedPolicy = core.FeedPolicy{MaxPriceStaleTicks: staleTicks}
+	}
+	return closer, nil
 }
 
 // emitMaybePartial runs sc under ctx and emits its result. A run cut short

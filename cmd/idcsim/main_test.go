@@ -257,3 +257,49 @@ func TestCanceledRunEmitsPartialCleanly(t *testing.T) {
 		t.Errorf("partial output missing CSV header: %q", buf.String())
 	}
 }
+
+func TestFeedFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demand.jsonl")
+	content := `{"seq": 0, "values": [30000, 15000, 15000, 20000, 20000]}
+{"values": [29000, 15500, 14800, 20200, 19900]}
+{"values": [28000, 16000, 14600, 20400, 19800]}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "3", "-no-baseline", "-feed", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 streamed steps
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+
+	// A stream shorter than -steps ends the run cleanly with the partial series.
+	buf.Reset()
+	if err := run([]string{"-steps", "10", "-no-baseline", "-feed", path}, &buf); err != nil {
+		t.Fatalf("short-stream run: %v", err)
+	}
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 4 {
+		t.Fatalf("short-stream lines = %d, want 4", len(lines))
+	}
+
+	// The feed owns the demand path: generator flags conflict.
+	if err := run([]string{"-steps", "2", "-feed", path, "-diurnal"}, &buf); err == nil {
+		t.Fatal("-feed with -diurnal accepted")
+	}
+	if err := run([]string{"-steps", "2", "-feed", "/no/such/feed.jsonl"}, &buf); err == nil {
+		t.Fatal("missing feed file accepted")
+	}
+}
+
+func TestStaleTicksFlag(t *testing.T) {
+	// Smoke: the flag parses and the run behaves as without it when the
+	// price feed is healthy.
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "2", "-no-baseline", "-stale-ticks", "3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

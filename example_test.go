@@ -160,6 +160,36 @@ func ExampleRunScenario() {
 	// hour: 6
 }
 
+// ExampleRunScenario_feed drives the same closed loop from a streaming
+// demand source instead of a callback — the live-feed input path. The trace
+// ends after three samples, so the run stops cleanly with a partial series;
+// the recorded per-step mode shows the controller stayed nominal.
+func ExampleRunScenario_feed() {
+	demandTrace := [][]float64{
+		{30000, 15000, 15000, 20000, 20000},
+		{29000, 15500, 14800, 20200, 19900},
+		{28000, 16000, 14600, 20400, 19800},
+	}
+	res, err := repro.RunScenario(repro.Scenario{
+		Name:         "feed-demo",
+		Topology:     repro.PaperTopology(),
+		Prices:       repro.NewEmbeddedPrices(),
+		DemandSource: repro.FromTrace(demandTrace),
+		FeedPolicy:   repro.FeedPolicy{MaxPriceStaleTicks: 2},
+		Steps:        10, // the stream ends first: a clean partial run
+		Ts:           30,
+		StartHour:    6,
+		SkipBaseline: true,
+		MPC:          repro.MPCConfig{PowerWeight: 1, SmoothWeight: 6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed steps: %d, mode: %s\n",
+		res.Control.Steps(), res.Control.Modes[res.Control.Steps()-1])
+	// Output: streamed steps: 3, mode: nominal
+}
+
 // ExampleStepAll steps a small fleet of independent controllers — the
 // multi-tenant daemon shape — on a shared worker pool. Results are
 // bit-identical to stepping each tenant serially; the pool only buys

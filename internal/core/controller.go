@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/ctrl"
+	"repro/internal/feed"
 	"repro/internal/forecast"
 	"repro/internal/idc"
 	"repro/internal/obs"
@@ -105,6 +106,10 @@ type Telemetry struct {
 	CumulativeCost float64
 	// QPIterations is the fast-loop solver effort (diagnostics).
 	QPIterations int
+	// Mode is the controller's operating state as of the last slow tick —
+	// ModeNominal unless an input-degradation fallback is active (see the
+	// Mode enum and WithFeedPolicy in mode.go). JSON-encodes by name.
+	Mode Mode
 }
 
 // Controller is the paper's dynamic electricity-cost controller.
@@ -129,6 +134,16 @@ type Controller struct {
 	observers []Observer
 	trace     *json.Encoder
 	now       func() time.Time
+
+	// Degraded-mode machinery (mode.go, DESIGN.md §3.13).
+	policy FeedPolicy
+	mode   Mode
+	// staleTicks counts the consecutive slow ticks served from held
+	// prices during the current price-feed outage (0 while healthy).
+	staleTicks int
+	// spikes holds the per-IDC price-spike detectors (nil unless
+	// FeedPolicy.SpikeWindow enables them).
+	spikes []*feed.SpikeDetector
 
 	// Mutable loop state.
 	step     int
@@ -240,6 +255,8 @@ func New(cfg Config, opts ...Option) (*Controller, error) {
 		metrics:   op.metrics,
 		observers: op.observers,
 		now:       op.now,
+		policy:    op.feedPolicy,
+		spikes:    newSpikeDetectors(n, op.feedPolicy),
 	}
 	if op.trace != nil {
 		c.trace = json.NewEncoder(op.trace)
@@ -414,6 +431,7 @@ func (c *Controller) Step(demands []float64) (*Telemetry, error) {
 		CostRate:       costRate,
 		CumulativeCost: c.cumCost,
 		QPIterations:   out.QPIterations,
+		Mode:           c.mode,
 	}
 	c.step++
 
@@ -445,6 +463,7 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 	n := top.N()
 
 	// Current prices per region; the bid-stack model sees our latest power.
+	stale := false
 	prices := make([]float64, n)
 	for j := 0; j < n; j++ {
 		var loadMW float64
@@ -456,6 +475,20 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		}
 		p, err := c.cfg.Prices.Price(top.IDC(j).Region, hour, loadMW)
 		if err != nil {
+			// Price-feed outage. Under a FeedPolicy hold budget, serve
+			// this tick from the last known price vector (whole-vector
+			// hold — a half-fresh vector would price IDCs inconsistently)
+			// and report ModeStalePrice; once the budget is exhausted, or
+			// without a policy, fail the step as before. Holding needs a
+			// last known vector, so an outage on the very first tick
+			// always fails.
+			if c.policy.MaxPriceStaleTicks > 0 && c.started &&
+				len(c.prices) == n && c.staleTicks < c.policy.MaxPriceStaleTicks {
+				c.staleTicks++
+				c.instr.staleHolds.Inc()
+				stale = true
+				break
+			}
 			return fmt.Errorf("core: price for idc %d: %w", j, err)
 		}
 		// Negative-price policy: floor at zero here, at the single point
@@ -471,17 +504,35 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		}
 		prices[j] = p
 	}
-	c.prices = prices
+	if stale {
+		// Hold: keep c.prices and the price-dependent folded model as-is.
+		// The reference LP below still re-solves against fresh demand.
+		prices = c.prices
+	} else {
+		c.staleTicks = 0
+		c.prices = prices
+		// Anomaly detection sees only genuinely observed prices — held
+		// vectors would bias the window toward the outage value.
+		if c.spikes != nil {
+			for j, d := range c.spikes {
+				was := d.Latched()
+				if d.Observe(prices[j]) && !was {
+					c.instr.spikeLatches.Inc()
+				}
+			}
+		}
 
-	// Rebuild the folded model (eq. 36) with the new prices.
-	model, err := ctrl.NewFoldedModel(top, prices, c.cfg.Ts)
-	if err != nil {
-		return err
+		// Rebuild the folded model (eq. 36) with the new prices.
+		model, err := ctrl.NewFoldedModel(top, prices, c.cfg.Ts)
+		if err != nil {
+			return err
+		}
+		c.model = model
 	}
-	c.model = model
 
 	// Reference optimizer input: predicted demand when forecasting.
 	refDemands := demands
+	fcFell := false
 	if c.preds != nil {
 		predicted := make([]float64, len(demands))
 		usable := true
@@ -496,6 +547,7 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		if usable && top.Feasible(predicted) {
 			refDemands = predicted
 		} else {
+			fcFell = true
 			c.instr.fcFallback.Inc()
 		}
 	}
@@ -504,8 +556,10 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 	// IDCs. When even that is infeasible (budgets too tight for the
 	// demand), fall back to the unconstrained optimum with a bare clamp —
 	// budgets degrade to soft targets, exactly the paper's formulation.
+	relaxed := false
 	ref, err := c.refSolver.OptimizeWithBudgets(top, prices, refDemands, c.budgets)
 	if err != nil && errors.Is(err, alloc.ErrInfeasible) && anyPositive(c.budgets) {
+		relaxed = true
 		c.instr.bgRelax.Inc()
 		ref, err = alloc.Optimize(top, prices, refDemands)
 	}
@@ -544,6 +598,27 @@ func (c *Controller) slowTick(hour int, demands []float64) error {
 		c.servers = servers
 		c.started = true
 	}
+	// Degraded-mode state machine: the step's mode is the most severe
+	// condition active this tick (the Mode constants are severity-ordered).
+	// setMode counts the transition, moves the gauge, and emits the
+	// mode-transition trace line.
+	mode := ModeNominal
+	if fcFell {
+		mode = ModeForecastFallback
+	}
+	if relaxed {
+		mode = ModeBudgetRelax
+	}
+	if c.spikeLatched() {
+		mode = ModePriceSpike
+	}
+	if stale {
+		mode = ModeStalePrice
+	}
+	if err := c.setMode(mode, hour); err != nil {
+		return err
+	}
+
 	c.pendingResolve = false
 	c.instr.slowTicks.Inc()
 	c.instr.slowTick.Observe(c.now().Sub(start).Seconds())

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/price"
+	"repro/internal/workload"
+)
+
+func TestModeStringAndJSON(t *testing.T) {
+	names := map[Mode]string{
+		ModeNominal:          "nominal",
+		ModeForecastFallback: "forecast-fallback",
+		ModeBudgetRelax:      "budget-relax",
+		ModePriceSpike:       "price-spike",
+		ModeStalePrice:       "stale-price",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m, want)
+		}
+		b, err := json.Marshal(m)
+		if err != nil || string(b) != `"`+want+`"` {
+			t.Errorf("Marshal(%v) = %s, %v", m, b, err)
+		}
+		var back Mode
+		if err := json.Unmarshal(b, &back); err != nil || back != m {
+			t.Errorf("Unmarshal(%s) = %v, %v", b, back, err)
+		}
+	}
+	if s := Mode(99).String(); s != "mode(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+	var m Mode
+	if err := m.UnmarshalText([]byte("bogus")); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown mode err = %v, want ErrBadConfig", err)
+	}
+}
+
+// togglePrices is a price feed with a kill switch: tests flip down between
+// steps to simulate an outage and a later recovery.
+type togglePrices struct {
+	down bool
+	val  float64
+}
+
+func (p *togglePrices) Price(r price.Region, h int, _ float64) (float64, error) {
+	if p.down {
+		return 0, fmt.Errorf("query %s: %w", r, errFeedDown)
+	}
+	return p.val, nil
+}
+
+func TestStalePriceHoldEntersAndExits(t *testing.T) {
+	// Kill the price feed mid-run: with a hold budget the controller must
+	// enter ModeStalePrice — serving held prices, not erroring — and exit
+	// back to ModeNominal when the feed recovers.
+	feed := &togglePrices{val: 40}
+	cfg := baseConfig()
+	cfg.SlowEvery = 2
+	cfg.Prices = feed
+	c, err := New(cfg, WithFeedPolicy(FeedPolicy{MaxPriceStaleTicks: 3}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	demands := workload.TableI()
+
+	step := func(k int) *Telemetry {
+		t.Helper()
+		tel, err := c.Step(demands)
+		if err != nil {
+			t.Fatalf("Step %d: %v", k, err)
+		}
+		return tel
+	}
+
+	if tel := step(0); tel.Mode != ModeNominal {
+		t.Fatalf("step 0 mode = %v, want nominal", tel.Mode)
+	}
+	step(1) // fast step, no slow tick
+
+	feed.down = true
+	tel := step(2) // slow tick under outage → hold
+	if tel.Mode != ModeStalePrice {
+		t.Fatalf("outage mode = %v, want stale-price", tel.Mode)
+	}
+	for j, p := range tel.Prices {
+		if p != 40 {
+			t.Fatalf("held price[%d] = %g, want the last known 40", j, p)
+		}
+	}
+	if tel := step(3); tel.Mode != ModeStalePrice {
+		t.Fatalf("fast-step mode = %v, want stale-price carried over", tel.Mode)
+	}
+	step(4) // second held slow tick, still within budget
+
+	feed.down = false
+	feed.val = 50
+	step(5)
+	tel = step(6) // slow tick after recovery
+	if tel.Mode != ModeNominal {
+		t.Fatalf("recovered mode = %v, want nominal", tel.Mode)
+	}
+	for j, p := range tel.Prices {
+		if p != 50 {
+			t.Fatalf("recovered price[%d] = %g, want fresh 50", j, p)
+		}
+	}
+
+	if got := c.instr.staleHolds.Value(); got != 2 {
+		t.Fatalf("stale-hold counter = %d, want 2", got)
+	}
+	if got := c.instr.modeTransitions.Value(); got != 2 {
+		t.Fatalf("mode-transition counter = %d, want 2 (enter + exit)", got)
+	}
+	if got := c.instr.modeGauge.Value(); got != float64(ModeNominal) {
+		t.Fatalf("mode gauge = %g after recovery", got)
+	}
+
+	// A second outage reuses the full budget: staleTicks reset on recovery.
+	feed.down = true
+	if tel := step(7); tel.Mode != ModeNominal {
+		t.Fatalf("fast step after kill = %v (slow tick not due yet)", tel.Mode)
+	}
+	if tel := step(8); tel.Mode != ModeStalePrice {
+		t.Fatalf("second outage mode = %v, want stale-price", tel.Mode)
+	}
+}
+
+func TestStalePriceBudgetExhausted(t *testing.T) {
+	feed := &togglePrices{val: 40}
+	cfg := baseConfig()
+	cfg.SlowEvery = 2
+	cfg.Prices = feed
+	c, err := New(cfg, WithFeedPolicy(FeedPolicy{MaxPriceStaleTicks: 1}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	demands := workload.TableI()
+	if _, err := c.Step(demands); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if _, err := c.Step(demands); err != nil {
+		t.Fatalf("fast step: %v", err)
+	}
+	feed.down = true
+	tel, err := c.Step(demands) // first held tick: within budget
+	if err != nil || tel.Mode != ModeStalePrice {
+		t.Fatalf("hold step = %v, %v", tel, err)
+	}
+	if _, err := c.Step(demands); err != nil {
+		t.Fatalf("fast step: %v", err)
+	}
+	// Budget (1 tick) exhausted: the next slow tick must surface the outage.
+	if _, err := c.Step(demands); !errors.Is(err, errFeedDown) {
+		t.Fatalf("exhausted-budget err = %v, want the feed error", err)
+	}
+}
+
+func TestStalePriceFirstTickAlwaysFails(t *testing.T) {
+	// There is no last known vector to hold on the very first slow tick; a
+	// policy must not mask a feed that was never up.
+	cfg := baseConfig()
+	cfg.Prices = &togglePrices{down: true}
+	c, err := New(cfg, WithFeedPolicy(FeedPolicy{MaxPriceStaleTicks: 10}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.Step(workload.TableI()); !errors.Is(err, errFeedDown) {
+		t.Fatalf("first-tick err = %v, want the feed error", err)
+	}
+}
+
+func TestModeBudgetRelax(t *testing.T) {
+	// Same scenario as TestInfeasibleBudgetsFallBackToSoftClamp, now
+	// asserting the relaxation is visible as an explicit mode.
+	cfg := baseConfig()
+	cfg.StartHour = 6
+	cfg.Budgets = []float64{1e6, 1e6, 1e6}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tel, err := c.Step(workload.TableI())
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if tel.Mode != ModeBudgetRelax {
+		t.Fatalf("mode = %v, want budget-relax", tel.Mode)
+	}
+}
+
+func TestModeForecastFallback(t *testing.T) {
+	// The degenerate forecaster scenario from TestForecastInfeasiblePrediction-
+	// FallsBack: when the fallback fires, the step must report it as a mode,
+	// not only as a counter.
+	cfg := baseConfig()
+	cfg.UseForecast = true
+	cfg.SlowEvery = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sawFallback := false
+	run := func(demands []float64, steps int) {
+		t.Helper()
+		for k := 0; k < steps; k++ {
+			tel, err := c.Step(demands)
+			if err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+			if tel.Mode == ModeForecastFallback {
+				sawFallback = true
+			}
+		}
+	}
+	run([]float64{0, 0, 0, 0, 0}, 6)
+	run(workload.TableI(), 6)
+	if fb := c.instr.fcFallback.Value(); fb == 0 {
+		t.Fatal("scenario no longer exercises the forecast fallback")
+	}
+	if !sawFallback {
+		t.Fatal("forecast fallback fired but no step reported ModeForecastFallback")
+	}
+}
+
+func TestModePriceSpike(t *testing.T) {
+	feed := &togglePrices{val: 40}
+	cfg := baseConfig()
+	cfg.SlowEvery = 1 // every step is a slow tick: one detector sample per step
+	cfg.Prices = feed
+	c, err := New(cfg, WithFeedPolicy(FeedPolicy{SpikeWindow: 8}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	demands := workload.TableI()
+	for k := 0; k < 4; k++ { // flat 40 $/MWh baseline
+		tel, err := c.Step(demands)
+		if err != nil {
+			t.Fatalf("baseline step %d: %v", k, err)
+		}
+		if tel.Mode != ModeNominal {
+			t.Fatalf("baseline step %d mode = %v", k, tel.Mode)
+		}
+	}
+	feed.val = 400 // 10× price spike
+	tel, err := c.Step(demands)
+	if err != nil {
+		t.Fatalf("spike step: %v", err)
+	}
+	if tel.Mode != ModePriceSpike {
+		t.Fatalf("spike mode = %v, want price-spike", tel.Mode)
+	}
+	// Spiked prices are observed, not substituted.
+	for j, p := range tel.Prices {
+		if p != 400 {
+			t.Fatalf("price[%d] = %g during spike, want the observed 400", j, p)
+		}
+	}
+	feed.val = 40 // glitch over: the widened window releases the latch
+	tel, err = c.Step(demands)
+	if err != nil {
+		t.Fatalf("recovery step: %v", err)
+	}
+	if tel.Mode != ModeNominal {
+		t.Fatalf("post-spike mode = %v, want nominal", tel.Mode)
+	}
+	if got := c.instr.spikeLatches.Value(); got != 3 {
+		// One latch event per IDC detector — all three regions saw the spike.
+		t.Fatalf("spike-latch counter = %d, want 3", got)
+	}
+}
+
+func TestModeTransitionsOnTrace(t *testing.T) {
+	feed := &togglePrices{val: 40}
+	cfg := baseConfig()
+	cfg.SlowEvery = 2
+	cfg.Prices = feed
+	var buf bytes.Buffer
+	c, err := New(cfg,
+		WithFeedPolicy(FeedPolicy{MaxPriceStaleTicks: 2}),
+		WithTrace(&buf))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	demands := workload.TableI()
+	for k := 0; k < 2; k++ {
+		if _, err := c.Step(demands); err != nil {
+			t.Fatalf("Step %d: %v", k, err)
+		}
+	}
+	feed.down = true
+	for k := 2; k < 4; k++ {
+		if _, err := c.Step(demands); err != nil {
+			t.Fatalf("Step %d: %v", k, err)
+		}
+	}
+	feed.down = false
+	for k := 4; k < 6; k++ {
+		if _, err := c.Step(demands); err != nil {
+			t.Fatalf("Step %d: %v", k, err)
+		}
+	}
+
+	type event struct {
+		Event string `json:"event"`
+		Step  int    `json:"step"`
+		From  string `json:"from"`
+		To    string `json:"to"`
+	}
+	var transitions []event
+	steps := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev.Event == "mode-transition" {
+			transitions = append(transitions, ev)
+		} else {
+			steps++
+		}
+	}
+	if steps != 6 {
+		t.Fatalf("trace has %d telemetry lines, want 6", steps)
+	}
+	want := []event{
+		{Event: "mode-transition", Step: 2, From: "nominal", To: "stale-price"},
+		{Event: "mode-transition", Step: 4, From: "stale-price", To: "nominal"},
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", transitions, want)
+	}
+	for i, w := range want {
+		if transitions[i] != w {
+			t.Fatalf("transition %d = %+v, want %+v", i, transitions[i], w)
+		}
+	}
+}

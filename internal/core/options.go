@@ -31,8 +31,10 @@ func (f ObserverFunc) ObserveStep(tel *Telemetry) { f(tel) }
 // deliberate: Config describes the controlled system (topology, prices,
 // horizons, budgets — what the paper parameterizes), Options attach
 // cross-cutting runtime concerns (observability sinks, trace output, test
-// clocks) that leave the control behavior untouched. New(cfg) with no
-// options behaves exactly as it always has.
+// clocks) that leave the control behavior untouched — with one declared
+// exception: WithFeedPolicy, whose whole point is to change what happens
+// when an input feed fails (see mode.go). New(cfg) with no options behaves
+// exactly as it always has.
 type Option func(*options)
 
 type options struct {
@@ -41,6 +43,7 @@ type options struct {
 	observers   []Observer
 	trace       io.Writer
 	now         func() time.Time
+	feedPolicy  FeedPolicy
 }
 
 // DefaultSampleEvery is the default 1-in-N decimation of the fast-loop
@@ -124,6 +127,12 @@ type instruments struct {
 	bgViolate  *obs.Counter
 	costRate   *obs.Gauge
 	cumCost    *obs.Gauge
+
+	// Degraded-mode instruments (mode.go, DESIGN.md §3.13).
+	modeGauge       *obs.Gauge
+	modeTransitions *obs.Counter
+	staleHolds      *obs.Counter
+	spikeLatches    *obs.Counter
 }
 
 // newInstruments registers (or re-attaches to) the controller instrument
@@ -145,6 +154,11 @@ func newInstruments(reg *obs.Registry, sampleEvery int) instruments {
 		bgViolate:  reg.Counter("idc_budget_violation_steps_total", "steps with at least one IDC above its power budget"),
 		costRate:   reg.Gauge("idc_cost_rate_dollars_per_hour", "instantaneous electricity spend"),
 		cumCost:    reg.Gauge("idc_cost_dollars_total", "integrated electricity spend since step 0"),
+
+		modeGauge:       reg.Gauge("idc_mode", "current operating mode ordinal (0 nominal … 4 stale-price; see core.Mode)"),
+		modeTransitions: reg.Counter("idc_mode_transitions_total", "degraded-mode state changes"),
+		staleHolds:      reg.Counter("idc_price_stale_holds_total", "slow ticks served from held prices during a price-feed outage"),
+		spikeLatches:    reg.Counter("idc_price_spike_latches_total", "price-spike detector latch events across IDCs"),
 	}
 }
 

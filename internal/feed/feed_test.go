@@ -1,0 +1,226 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collect drains src until ErrEnd or max samples, failing on any other error.
+func collect(t *testing.T, src Source, max int) []Sample {
+	t.Helper()
+	ctx := context.Background()
+	var out []Sample
+	for len(out) < max {
+		smp, err := src.Next(ctx)
+		if errors.Is(err, ErrEnd) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, smp)
+	}
+	return out
+}
+
+func TestFromFuncSeqAndValues(t *testing.T) {
+	fn := func(step int) []float64 {
+		return []float64{float64(step), float64(step) * 2}
+	}
+	src := FromFunc(fn)
+	for k := 0; k < 5; k++ {
+		smp, err := src.Next(context.Background())
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		if smp.Seq != k {
+			t.Fatalf("step %d: Seq = %d", k, smp.Seq)
+		}
+		want := fn(k)
+		for i := range want {
+			if smp.Values[i] != want[i] {
+				t.Fatalf("step %d: Values = %v, want %v", k, smp.Values, want)
+			}
+		}
+	}
+}
+
+func TestFromFuncHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := FromFunc(func(int) []float64 { return nil })
+	if _, err := src.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFromTraceBitIdentical(t *testing.T) {
+	rows := [][]float64{
+		{1.5, 2.25, math.Pi},
+		{0, -1, 1e-300},
+		{4, 5, 6},
+	}
+	got := collect(t, FromTrace(rows), 10)
+	if len(got) != len(rows) {
+		t.Fatalf("got %d samples, want %d", len(got), len(rows))
+	}
+	for k, smp := range got {
+		if smp.Seq != k {
+			t.Fatalf("sample %d: Seq = %d", k, smp.Seq)
+		}
+		for i := range rows[k] {
+			// Exact equality on purpose: the adapter must not transform values.
+			if smp.Values[i] != rows[k][i] {
+				t.Fatalf("sample %d: Values = %v, want %v", k, smp.Values, rows[k])
+			}
+		}
+	}
+	// The stream stays ended.
+	if _, err := FromTrace(nil).Next(context.Background()); !errors.Is(err, ErrEnd) {
+		t.Fatalf("empty trace err = %v, want ErrEnd", err)
+	}
+}
+
+func TestFromChannelCloseAndCancel(t *testing.T) {
+	ch := make(chan Sample, 2)
+	ch <- Sample{Seq: 7, Values: []float64{1}}
+	close(ch)
+	src := FromChannel(ch)
+	smp, err := src.Next(context.Background())
+	if err != nil || smp.Seq != 7 {
+		t.Fatalf("Next = %+v, %v", smp, err)
+	}
+	if _, err := src.Next(context.Background()); !errors.Is(err, ErrEnd) {
+		t.Fatalf("closed-channel err = %v, want ErrEnd", err)
+	}
+
+	// Cancellation unblocks a Next parked on an open, empty channel.
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := FromChannel(make(chan Sample))
+	done := make(chan error, 1)
+	go func() {
+		_, err := blocked.Next(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not return after cancel")
+	}
+}
+
+func TestReplayPacing(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	samples := []Sample{
+		{Seq: 0, At: t0, Values: []float64{1}},
+		{Seq: 1, At: t0.Add(2 * time.Second), Values: []float64{2}},
+		{Seq: 2, At: t0.Add(2 * time.Second), Values: []float64{3}}, // zero gap
+		{Seq: 3, At: t0.Add(5 * time.Second), Values: []float64{4}},
+		{Seq: 4, Values: []float64{5}}, // no timestamp: back-to-back
+	}
+	src := Replay(samples, 2).(*replaySource)
+	var slept []time.Duration
+	src.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	got := collect(t, src, 10)
+	if len(got) != len(samples) {
+		t.Fatalf("got %d samples, want %d", len(got), len(samples))
+	}
+	// Gaps 2s and 3s at speed 2 → sleeps of 1s and 1.5s; the zero gap and the
+	// missing timestamp sleep not at all.
+	want := []time.Duration{time.Second, 1500 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestReplaySpeedZeroNeverSleeps(t *testing.T) {
+	t0 := time.Now()
+	samples := []Sample{
+		{Seq: 0, At: t0, Values: []float64{1}},
+		{Seq: 1, At: t0.Add(time.Hour), Values: []float64{2}},
+	}
+	src := Replay(samples, 0).(*replaySource)
+	src.sleep = func(context.Context, time.Duration) error {
+		t.Fatal("speed 0 must not sleep")
+		return nil
+	}
+	if got := collect(t, src, 10); len(got) != 2 {
+		t.Fatalf("got %d samples, want 2", len(got))
+	}
+}
+
+func TestReplayCancelDuringSleep(t *testing.T) {
+	t0 := time.Now()
+	samples := []Sample{
+		{Seq: 0, At: t0, Values: []float64{1}},
+		{Seq: 1, At: t0.Add(time.Hour), Values: []float64{2}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	src := Replay(samples, 1)
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatalf("first sample: %v", err)
+	}
+	cancel() // the real ctxSleep must give up immediately
+	if _, err := src.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFromJSONL(t *testing.T) {
+	in := strings.NewReader(`
+{"seq": 3, "values": [1, 2]}
+{"values": [3, 4]}
+{"seq": 10, "at": "2026-08-08T12:00:00Z", "values": [5]}
+`)
+	src := FromJSONL(in)
+	ctx := context.Background()
+
+	smp, err := src.Next(ctx)
+	if err != nil || smp.Seq != 3 {
+		t.Fatalf("line 1 = %+v, %v", smp, err)
+	}
+	// A line without "seq" continues from its predecessor.
+	smp, err = src.Next(ctx)
+	if err != nil || smp.Seq != 4 || smp.Values[0] != 3 {
+		t.Fatalf("line 2 = %+v, %v", smp, err)
+	}
+	smp, err = src.Next(ctx)
+	if err != nil || smp.Seq != 10 {
+		t.Fatalf("line 3 = %+v, %v", smp, err)
+	}
+	if smp.At.IsZero() {
+		t.Fatal("line 3 lost its timestamp")
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, ErrEnd) {
+		t.Fatalf("EOF err = %v, want ErrEnd", err)
+	}
+}
+
+func TestFromJSONLMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"garbage":   `{"seq": not json}`,
+		"no-values": `{"seq": 1}`,
+		"empty-obj": `{}`,
+	} {
+		src := FromJSONL(strings.NewReader(in))
+		if _, err := src.Next(context.Background()); !errors.Is(err, ErrBadSample) {
+			t.Errorf("%s: err = %v, want ErrBadSample", name, err)
+		}
+	}
+}

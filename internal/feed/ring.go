@@ -1,0 +1,208 @@
+package feed
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Overflow selects what the Buffer's pump does when the ring is full — the
+// policy for a source that outruns the fixed-Ts consumer.
+type Overflow int
+
+const (
+	// OverflowDropOldest decimates: the oldest buffered sample is dropped
+	// to make room for the new one, so the consumer always sees the
+	// freshest window of the stream. Drops are counted (Dropped).
+	OverflowDropOldest Overflow = iota
+	// OverflowBlock applies backpressure: the pump stalls until the
+	// consumer drains a slot (or its context is cancelled). No sample is
+	// ever dropped; a slow consumer slows the producer.
+	OverflowBlock
+)
+
+// Buffer is a bounded ring between a Source and its consumer. Start spawns
+// a pump goroutine that pulls the source as fast as it produces; the
+// consumer drains via Next at its own cadence (the control loop's Ts).
+// Buffer itself implements Source, so it composes: NewBuffer(src, 16,
+// OverflowDropOldest).Start(ctx) is a drop-in replacement for src.
+//
+// The pump terminates when the source returns any error — ErrEnd, a
+// failure, or ctx.Err() once ctx is cancelled (sources are ctx-aware by
+// contract) — and parks the terminal error for the consumer, who first
+// drains every buffered sample and only then sees the error. Buffer is
+// single-consumer: Next must not be called concurrently.
+type Buffer struct {
+	src Source
+	pol Overflow
+
+	mu    sync.Mutex
+	ring  []Sample
+	head  int // index of the oldest buffered sample
+	count int
+	err   error // terminal pump error; set once, read after draining
+
+	dropped atomic.Uint64
+	started atomic.Bool
+
+	// notify (cap 1) wakes a consumer parked in Next when the pump buffers
+	// a sample or terminates; space (cap 1) wakes a pump parked on a full
+	// ring under OverflowBlock. Both are signalled outside mu.
+	notify chan struct{}
+	space  chan struct{}
+	done   chan struct{} // closed when the pump exits
+}
+
+// NewBuffer builds a ring of the given size (min 1) over src. The buffer
+// is inert until Start.
+func NewBuffer(src Source, size int, pol Overflow) *Buffer {
+	if size < 1 {
+		size = 1
+	}
+	return &Buffer{
+		src:    src,
+		pol:    pol,
+		ring:   make([]Sample, size),
+		notify: make(chan struct{}, 1),
+		space:  make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start spawns the pump goroutine and returns the buffer for chaining.
+// ctx bounds the pump's lifetime: cancelling it makes the source's Next
+// return, which terminates the pump (Done closes). Start is idempotent;
+// only the first call spawns.
+func (b *Buffer) Start(ctx context.Context) *Buffer {
+	if !b.started.CompareAndSwap(false, true) {
+		return b
+	}
+	go b.pump(ctx)
+	return b
+}
+
+// pump pulls the source until it returns an error (ErrEnd, a failure, or
+// ctx.Err() after cancellation) and parks that error for the consumer.
+func (b *Buffer) pump(ctx context.Context) {
+	defer close(b.done)
+	for {
+		smp, err := b.src.Next(ctx)
+		if err != nil {
+			b.mu.Lock()
+			b.err = err
+			b.mu.Unlock()
+			b.wake(b.notify)
+			return
+		}
+		if !b.push(ctx, smp) {
+			b.mu.Lock()
+			b.err = ctx.Err()
+			b.mu.Unlock()
+			b.wake(b.notify)
+			return
+		}
+	}
+}
+
+// push buffers one sample, applying the overflow policy when the ring is
+// full. It returns false only under OverflowBlock when ctx was cancelled
+// while waiting for space.
+func (b *Buffer) push(ctx context.Context, smp Sample) bool {
+	for {
+		b.mu.Lock()
+		if b.count < len(b.ring) {
+			b.ring[(b.head+b.count)%len(b.ring)] = smp
+			b.count++
+			b.mu.Unlock()
+			b.wake(b.notify)
+			return true
+		}
+		if b.pol == OverflowDropOldest {
+			// Decimate: overwrite the oldest slot and advance the window.
+			b.ring[b.head] = smp
+			b.head = (b.head + 1) % len(b.ring)
+			b.mu.Unlock()
+			b.dropped.Add(1)
+			b.wake(b.notify)
+			return true
+		}
+		b.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-b.space:
+		}
+	}
+}
+
+// wake delivers a non-blocking signal on a cap-1 channel: a pending signal
+// already guarantees the receiver will re-check state, so dropping the
+// send is correct and keeps wake unblockable.
+//
+//lint:nocx the send cannot block (cap-1 channel, default case); no lifetime to bound
+func (b *Buffer) wake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Next returns the oldest buffered sample, blocking until the pump buffers
+// one, the stream terminates (buffered samples drain first, then the
+// terminal error — ErrEnd for a clean end), or ctx is done.
+func (b *Buffer) Next(ctx context.Context) (Sample, error) {
+	for {
+		b.mu.Lock()
+		if b.count > 0 {
+			smp := b.ring[b.head]
+			b.ring[b.head] = Sample{} // drop the Values reference
+			b.head = (b.head + 1) % len(b.ring)
+			b.count--
+			b.mu.Unlock()
+			if b.pol == OverflowBlock {
+				b.wake(b.space)
+			}
+			return smp, nil
+		}
+		err := b.err
+		b.mu.Unlock()
+		if err != nil {
+			return Sample{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return Sample{}, ctx.Err()
+		case <-b.notify:
+		}
+	}
+}
+
+// Dropped returns the number of samples decimated under OverflowDropOldest.
+func (b *Buffer) Dropped() uint64 { return b.dropped.Load() }
+
+// Len returns the number of samples currently buffered.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Done is closed when the pump goroutine has exited — after the source
+// returned its terminal error or the Start context was cancelled. Tests
+// and shutdown paths use it to join the pump.
+func (b *Buffer) Done() <-chan struct{} { return b.done }
+
+// Err returns the terminal stream error once the pump has exited (ErrEnd
+// for a clean end), or nil while the pump is live.
+//
+//lint:nocx non-blocking done-probe (default case); no wait to bound
+func (b *Buffer) Err() error {
+	select {
+	case <-b.done:
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.err
+	default:
+		return nil
+	}
+}

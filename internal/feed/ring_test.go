@@ -1,0 +1,171 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBufferPassthroughBitIdentical(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	ctx := context.Background()
+	buf := NewBuffer(FromTrace(rows), 2, OverflowBlock).Start(ctx)
+	got := collect(t, buf, 10)
+	if len(got) != len(rows) {
+		t.Fatalf("got %d samples, want %d", len(got), len(rows))
+	}
+	for k, smp := range got {
+		if smp.Seq != k {
+			t.Fatalf("sample %d: Seq = %d", k, smp.Seq)
+		}
+		for i := range rows[k] {
+			if smp.Values[i] != rows[k][i] {
+				t.Fatalf("sample %d: Values = %v, want %v", k, smp.Values, rows[k])
+			}
+		}
+	}
+	<-buf.Done()
+	if err := buf.Err(); !errors.Is(err, ErrEnd) {
+		t.Fatalf("Err = %v, want ErrEnd", err)
+	}
+	if buf.Dropped() != 0 {
+		t.Fatalf("Dropped = %d under OverflowBlock", buf.Dropped())
+	}
+}
+
+func TestBufferDropOldestDecimates(t *testing.T) {
+	rows := make([][]float64, 10)
+	for k := range rows {
+		rows[k] = []float64{float64(k)}
+	}
+	ctx := context.Background()
+	buf := NewBuffer(FromTrace(rows), 3, OverflowDropOldest).Start(ctx)
+	// Let the pump run the trace dry before draining: the ring then holds
+	// only the freshest window.
+	<-buf.Done()
+	got := collect(t, buf, 20)
+	if len(got) != 3 {
+		t.Fatalf("got %d samples, want the 3 freshest", len(got))
+	}
+	for i, smp := range got {
+		if want := 7 + i; smp.Seq != want {
+			t.Fatalf("sample %d: Seq = %d, want %d", i, smp.Seq, want)
+		}
+	}
+	if buf.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", buf.Dropped())
+	}
+}
+
+func TestBufferBlockNeverDrops(t *testing.T) {
+	rows := make([][]float64, 50)
+	for k := range rows {
+		rows[k] = []float64{float64(k)}
+	}
+	ctx := context.Background()
+	buf := NewBuffer(FromTrace(rows), 1, OverflowBlock).Start(ctx)
+	got := collect(t, buf, 100)
+	if len(got) != len(rows) {
+		t.Fatalf("got %d samples, want all %d", len(got), len(rows))
+	}
+	for k, smp := range got {
+		if smp.Seq != k {
+			t.Fatalf("sample %d: Seq = %d (reordered or dropped)", k, smp.Seq)
+		}
+	}
+	if buf.Dropped() != 0 {
+		t.Fatalf("Dropped = %d under OverflowBlock", buf.Dropped())
+	}
+}
+
+// errAfter yields n samples and then a terminal failure.
+type errAfter struct {
+	n    int
+	k    int
+	terr error
+}
+
+func (s *errAfter) Next(ctx context.Context) (Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return Sample{}, err
+	}
+	if s.k >= s.n {
+		return Sample{}, s.terr
+	}
+	k := s.k
+	s.k++
+	return Sample{Seq: k, Values: []float64{float64(k)}}, nil
+}
+
+func TestBufferDrainsBeforeTerminalError(t *testing.T) {
+	boom := errors.New("upstream died")
+	ctx := context.Background()
+	buf := NewBuffer(&errAfter{n: 3, terr: boom}, 8, OverflowBlock).Start(ctx)
+	<-buf.Done()
+	// All three buffered samples come out before the error shows.
+	for k := 0; k < 3; k++ {
+		smp, err := buf.Next(ctx)
+		if err != nil || smp.Seq != k {
+			t.Fatalf("sample %d = %+v, %v", k, smp, err)
+		}
+	}
+	if _, err := buf.Next(ctx); !errors.Is(err, boom) {
+		t.Fatalf("terminal err = %v, want %v", err, boom)
+	}
+	if err := buf.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want %v", err, boom)
+	}
+}
+
+func TestBufferConsumerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// A channel source that never produces: Next parks until cancel.
+	buf := NewBuffer(FromChannel(make(chan Sample)), 4, OverflowDropOldest).Start(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := buf.Next(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not return after cancel")
+	}
+	// The pump joins too: its source is ctx-aware by contract.
+	select {
+	case <-buf.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("pump did not exit after cancel")
+	}
+}
+
+func TestBufferStartIdempotent(t *testing.T) {
+	ctx := context.Background()
+	buf := NewBuffer(FromTrace([][]float64{{1}}), 2, OverflowBlock)
+	if buf.Start(ctx) != buf || buf.Start(ctx) != buf {
+		t.Fatal("Start must return the receiver")
+	}
+	got := collect(t, buf, 10)
+	if len(got) != 1 {
+		t.Fatalf("double Start duplicated the stream: %d samples", len(got))
+	}
+}
+
+func TestBufferErrNilWhileLive(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := NewBuffer(FromChannel(make(chan Sample)), 2, OverflowBlock).Start(ctx)
+	if err := buf.Err(); err != nil {
+		t.Fatalf("Err = %v while pump is live", err)
+	}
+	cancel()
+	<-buf.Done()
+	if err := buf.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v after cancel", err)
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/feed"
+	"repro/internal/idc"
+	"repro/internal/price"
+)
+
+// ErrPriceGap is returned by the price-feed adapter for an hour the stream
+// skipped — the next buffered sample is already past it. Under a
+// core.FeedPolicy hold budget the controller rides the gap on held prices
+// (ModeStalePrice); without one the gap fails the step.
+var ErrPriceGap = errors.New("sim: price feed has no sample for this hour")
+
+// feedPrices adapts a feed.Source of hourly price vectors to the
+// price.Model interface the controller pulls from.
+//
+// Stream contract: each sample's Seq is the price-trace hour it belongs
+// to, Seq is non-decreasing, and Values holds one price per distinct
+// region of the topology, ordered by first appearance over the IDCs
+// (PaperTopology: michigan, minnesota, wisconsin). The adapter pulls
+// exactly the samples it needs — one per distinct hour the controller
+// asks for — so a live source is never over-drained: late samples
+// (Seq below the requested hour) are adopted and immediately superseded
+// (decimation), and a sample from a future hour is parked until its hour
+// arrives. Any source error (including feed.ErrEnd) is sticky: from then
+// on every Price call reports the outage and the controller's FeedPolicy
+// decides whether that means held prices or a failed step.
+type feedPrices struct {
+	// ctx bounds the pulls for the lifetime of the run that built this
+	// adapter; Price cannot take a context through price.Model.
+	ctx     context.Context
+	src     feed.Source
+	regions map[price.Region]int
+	nreg    int
+	hour    int // hour the cached vector belongs to (-1 before the first pull)
+	cur     []float64
+	pending *feed.Sample // parked future-hour sample
+	err     error        // sticky source failure
+}
+
+// newFeedPrices builds the adapter for top's distinct regions in IDC order.
+func newFeedPrices(ctx context.Context, src feed.Source, top *idc.Topology) *feedPrices {
+	regions := make(map[price.Region]int)
+	for j := 0; j < top.N(); j++ {
+		r := top.IDC(j).Region
+		if _, ok := regions[r]; !ok {
+			regions[r] = len(regions)
+		}
+	}
+	return &feedPrices{ctx: ctx, src: src, regions: regions, nreg: len(regions), hour: -1}
+}
+
+// Price implements price.Model. The load argument is ignored: a streamed
+// price is an exogenous observation, already inclusive of whatever the
+// market saw.
+func (m *feedPrices) Price(r price.Region, h int, _ float64) (float64, error) {
+	i, ok := m.regions[r]
+	if !ok {
+		return 0, fmt.Errorf("%q: %w", r, price.ErrUnknownRegion)
+	}
+	if err := m.advance(h); err != nil {
+		return 0, err
+	}
+	return m.cur[i], nil
+}
+
+// advance pulls until the cached vector is the stream's sample for hour h.
+func (m *feedPrices) advance(h int) error {
+	if m.err != nil {
+		return m.err
+	}
+	for m.hour < h {
+		var smp feed.Sample
+		if m.pending != nil {
+			smp = *m.pending
+			m.pending = nil
+		} else {
+			s, err := m.src.Next(m.ctx)
+			if err != nil {
+				m.err = fmt.Errorf("sim: price feed: %w", err)
+				return m.err
+			}
+			smp = s
+		}
+		if smp.Seq > h {
+			// The stream skipped hour h; park the sample for its own hour.
+			m.pending = &smp
+			return fmt.Errorf("%w: hour %d, next sample is hour %d", ErrPriceGap, h, smp.Seq)
+		}
+		if len(smp.Values) != m.nreg {
+			m.err = fmt.Errorf("sim: price feed hour %d: %d values for %d regions: %w",
+				smp.Seq, len(smp.Values), m.nreg, ErrBadScenario)
+			return m.err
+		}
+		// Seq <= h: adopt. An older hour is adopted too and superseded by
+		// the next loop iteration — late ticks decimate away.
+		m.cur = smp.Values
+		m.hour = smp.Seq
+	}
+	return nil
+}

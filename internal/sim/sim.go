@@ -13,6 +13,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/feed"
 	"repro/internal/forecast"
 	"repro/internal/idc"
 	"repro/internal/obs"
@@ -31,11 +32,34 @@ type Scenario struct {
 	Name string
 	// Topology is the portal/IDC system (required).
 	Topology *idc.Topology
-	// Prices is the shared price model (required).
+	// Prices is the shared price model (required unless PriceSource is
+	// set, which supersedes it).
 	Prices price.Model
-	// Demands supplies the portal demand vector per step; nil uses the
-	// paper's constant Table I demands.
+	// DemandSource streams the portal demand vector per step — the
+	// preferred input path (DESIGN.md §3.13). Each pulled sample must
+	// carry one rate per portal; the run ends early (cleanly, with the
+	// partial series and a nil error) when the source returns feed.ErrEnd
+	// before Steps samples. Mutually exclusive with Demands.
+	DemandSource feed.Source
+	// Demands supplies the portal demand vector per step; nil (with a nil
+	// DemandSource) uses the paper's constant Table I demands.
+	//
+	// Deprecated: set DemandSource instead. This field keeps working — it
+	// is wrapped in the feed.FromFunc adapter, and the two paths produce
+	// bit-identical series (pinned by TestFeedPathBitIdentical and
+	// FuzzFeedReplay).
 	Demands func(step int) []float64
+	// PriceSource, when non-nil, streams hourly price vectors and
+	// supersedes Prices: each sample's Seq is the price-trace hour and
+	// Values holds one price per distinct topology region in IDC order
+	// (see feedPrices for the full stream contract). Pair it with a
+	// FeedPolicy so gaps and outages degrade to held prices instead of
+	// failing the run.
+	PriceSource feed.Source
+	// FeedPolicy configures the controller's degraded modes (passed
+	// through as core.WithFeedPolicy). The zero value is the legacy
+	// fail-fast behavior.
+	FeedPolicy core.FeedPolicy
 	// Steps is the number of fast-loop steps to simulate (required > 0).
 	Steps int
 	// Ts is the sampling period in seconds (default 30).
@@ -93,6 +117,9 @@ type Series struct {
 	CumulativeCost []float64
 	// QPIterations[k] is the fast-loop solver effort (control method only).
 	QPIterations []int
+	// Modes[k] is the controller's operating mode at step k (control
+	// method only; see core.Mode).
+	Modes []core.Mode
 }
 
 func newSeries(n, steps int) *Series {
@@ -106,6 +133,7 @@ func newSeries(n, steps int) *Series {
 		CostRate:       make([]float64, 0, steps),
 		CumulativeCost: make([]float64, 0, steps),
 		QPIterations:   make([]int, 0, steps),
+		Modes:          make([]core.Mode, 0, steps),
 	}
 	for j := 0; j < n; j++ {
 		s.PowerWatts[j] = make([]float64, 0, steps)
@@ -129,6 +157,9 @@ func (s *Series) Slice(from, to int) *Series {
 	out.CumulativeCost = append(out.CumulativeCost, s.CumulativeCost[from:to]...)
 	if len(s.QPIterations) >= to {
 		out.QPIterations = append(out.QPIterations, s.QPIterations[from:to]...)
+	}
+	if len(s.Modes) >= to {
+		out.Modes = append(out.Modes, s.Modes[from:to]...)
 	}
 	for j := 0; j < n; j++ {
 		out.PowerWatts[j] = append(out.PowerWatts[j], s.PowerWatts[j][from:to]...)
@@ -161,8 +192,15 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	if sc.Topology == nil {
 		return nil, fmt.Errorf("nil topology: %w", ErrBadScenario)
 	}
-	if sc.Prices == nil {
+	prices := sc.Prices
+	if sc.PriceSource != nil {
+		prices = newFeedPrices(ctx, sc.PriceSource, sc.Topology)
+	}
+	if prices == nil {
 		return nil, fmt.Errorf("nil price model: %w", ErrBadScenario)
+	}
+	if sc.DemandSource != nil && sc.Demands != nil {
+		return nil, fmt.Errorf("both DemandSource and Demands set: %w", ErrBadScenario)
 	}
 	if sc.Steps <= 0 {
 		return nil, fmt.Errorf("steps %d: %w", sc.Steps, ErrBadScenario)
@@ -174,17 +212,28 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	if sc.Ts <= 0 {
 		return nil, fmt.Errorf("ts %g: %w", sc.Ts, ErrBadScenario)
 	}
-	demandAt := sc.Demands
-	if demandAt == nil {
-		table := workload.TableI()
-		if sc.Topology.C() != len(table) {
-			return nil, fmt.Errorf("default demands need %d portals, topology has %d: %w",
-				len(table), sc.Topology.C(), ErrBadScenario)
+	// Every demand path funnels through one pull-based source: an explicit
+	// DemandSource as-is, the legacy Demands callback (and the Table I
+	// default) via the FromFunc adapter — adapters hand vectors through
+	// untouched, so the legacy path's series stay bit-identical.
+	demandSrc := sc.DemandSource
+	if demandSrc == nil {
+		demandAt := sc.Demands
+		if demandAt == nil {
+			table := workload.TableI()
+			if sc.Topology.C() != len(table) {
+				return nil, fmt.Errorf("default demands need %d portals, topology has %d: %w",
+					len(table), sc.Topology.C(), ErrBadScenario)
+			}
+			demandAt = func(int) []float64 { return table }
 		}
-		demandAt = func(int) []float64 { return table }
+		demandSrc = feed.FromFunc(demandAt)
 	}
 
 	var opts []core.Option
+	if sc.FeedPolicy != (core.FeedPolicy{}) {
+		opts = append(opts, core.WithFeedPolicy(sc.FeedPolicy))
+	}
 	if sc.Observer != nil {
 		opts = append(opts, core.WithObserver(sc.Observer))
 	}
@@ -199,7 +248,7 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	}
 	controller, err := core.New(core.Config{
 		Topology:    sc.Topology,
-		Prices:      sc.Prices,
+		Prices:      prices,
 		MPC:         sc.MPC,
 		Ts:          sc.Ts,
 		SlowEvery:   sc.SlowEvery,
@@ -274,9 +323,9 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	}
 	// The explicit finishBaseline calls below handle the error paths; this
 	// deferred join (idempotent: baseCh is nilled on first close, baseDone
-	// stays closed) covers panics out of demandAt, Step, or recordControl,
-	// which would otherwise strand the baseline worker parked on baseCh
-	// forever.
+	// stays closed) covers panics out of the demand source, Step, or
+	// recordControl, which would otherwise strand the baseline worker
+	// parked on baseCh forever.
 	defer finishBaseline() //nolint:errcheck // the panic in flight takes precedence
 
 	for k := 0; k < sc.Steps; k++ {
@@ -286,7 +335,25 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 			}
 			return res, err
 		}
-		demands := demandAt(k)
+		smp, err := demandSrc.Next(ctx)
+		if err != nil {
+			if errors.Is(err, feed.ErrEnd) {
+				// The stream ended before Steps samples: a clean partial
+				// run, same as stopping the loop here.
+				break
+			}
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+				// The source surfaced our own cancellation: the partial-
+				// result contract applies, same as the ctx check above.
+				if berr := finishBaseline(); berr != nil {
+					return nil, berr
+				}
+				return res, err
+			}
+			finishBaseline() //nolint:errcheck // feed error takes precedence
+			return nil, fmt.Errorf("sim: demand feed step %d: %w", k, err)
+		}
+		demands := smp.Values
 		tel, err := controller.Step(demands)
 		if err != nil {
 			finishBaseline() //nolint:errcheck // control error takes precedence
@@ -309,6 +376,7 @@ func recordControl(s *Series, tel *core.Telemetry, minute float64) {
 	s.CostRate = append(s.CostRate, tel.CostRate)
 	s.CumulativeCost = append(s.CumulativeCost, tel.CumulativeCost)
 	s.QPIterations = append(s.QPIterations, tel.QPIterations)
+	s.Modes = append(s.Modes, tel.Mode)
 	for j := range s.PowerWatts {
 		s.PowerWatts[j] = append(s.PowerWatts[j], tel.PowerWatts[j])
 		s.Servers[j] = append(s.Servers[j], tel.Servers[j])

@@ -16,6 +16,9 @@
 //   - Experiments — regenerate every table and figure of the paper.
 //   - Observer / WithObserver / Metrics — zero-allocation observability
 //     hooks into a running controller (internal/obs).
+//   - DemandSource / PriceSource / FeedPolicy — streaming input feeds
+//     (internal/feed) with online anomaly detection and explicit degraded
+//     modes (Telemetry.Mode) when a feed stalls, gaps, or spikes.
 //
 // Quickstart:
 //
@@ -52,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/experiments"
+	"repro/internal/feed"
 	"repro/internal/forecast"
 	"repro/internal/idc"
 	"repro/internal/mat"
@@ -207,6 +211,101 @@ func NewBidStackPrices(cfg price.BidStackConfig) PriceModel {
 
 // BidStackConfig parameterizes NewBidStackPrices.
 type BidStackConfig = price.BidStackConfig
+
+// Sample is one observation pulled from a feed source: a sequence number
+// (the fast-loop step for demand, the price-trace hour for prices), an
+// optional wall-clock timestamp, and the observation vector.
+type Sample = feed.Sample
+
+// DemandSource streams per-step portal demand vectors into a Scenario
+// (Scenario.DemandSource) or any other consumer: Next(ctx) blocks until a
+// sample is available, returns ErrFeedEnd after the final one, or ctx's
+// error on cancellation. Sample k carries one non-negative rate per
+// portal. Build one with FromFunc, FromTrace, FromChannel, ReplaySamples,
+// or FromJSONL, and interpose NewFeedBuffer when the producer can outrun
+// the control period. See DESIGN.md §3.13 for the feed contract.
+type DemandSource = feed.Source
+
+// PriceSource streams hourly price vectors (Scenario.PriceSource): sample
+// Seq is the price-trace hour and Values holds one $/MWh price per
+// distinct topology region in IDC order. The same adapters build it; pair
+// it with a FeedPolicy so outages degrade to held prices (ModeStalePrice)
+// instead of failing the run.
+type PriceSource = feed.Source
+
+// ErrFeedEnd is the clean end-of-stream sentinel returned by feed sources
+// after their final sample.
+var ErrFeedEnd = feed.ErrEnd
+
+// FromFunc adapts a step-indexed callback to a feed source; the feed path
+// is bit-identical to calling the function directly.
+func FromFunc(fn func(step int) []float64) DemandSource { return feed.FromFunc(fn) }
+
+// FromTrace adapts a materialized trace (rows are not copied): sample k
+// carries rows[k], then the stream ends.
+func FromTrace(rows [][]float64) DemandSource { return feed.FromTrace(rows) }
+
+// FromChannel adapts a producer-fed channel — the live-feed shape. The
+// stream ends when the channel is closed and drained.
+func FromChannel(ch <-chan Sample) DemandSource { return feed.FromChannel(ch) }
+
+// FromJSONL decodes one JSON sample object per line, e.g.
+// {"seq":0,"values":[1200,900,650,820,950]} — the format behind
+// `idcsim -feed`.
+func FromJSONL(r io.Reader) DemandSource { return feed.FromJSONL(r) }
+
+// ReplaySamples replays recorded samples on their recorded timeline,
+// scaled by 1/speed (speed <= 0 replays back-to-back).
+func ReplaySamples(samples []Sample, speed float64) DemandSource {
+	return feed.Replay(samples, speed)
+}
+
+// FeedBuffer is a bounded ring between a fast source and the fixed-Ts
+// control loop: Start spawns a pump that pulls the source, the consumer
+// drains at its own pace, and the overflow policy decides between
+// decimation (drop-oldest, counted) and backpressure (block the producer).
+// A FeedBuffer is itself a source, so it composes.
+type FeedBuffer = feed.Buffer
+
+// FeedOverflow selects the FeedBuffer's full-ring policy.
+type FeedOverflow = feed.Overflow
+
+// The two FeedBuffer overflow policies.
+const (
+	FeedDropOldest = feed.OverflowDropOldest
+	FeedBlock      = feed.OverflowBlock
+)
+
+// NewFeedBuffer builds a ring of the given size over src; call Start(ctx)
+// to begin pumping.
+func NewFeedBuffer(src DemandSource, size int, pol FeedOverflow) *FeedBuffer {
+	return feed.NewBuffer(src, size, pol)
+}
+
+// Mode is the controller's operating state — nominal or one of the
+// explicit degraded modes (stale prices, forecast fallback, budget relax,
+// price spike). Telemetry.Mode carries it per step; it JSON-encodes by
+// name ("stale-price").
+type Mode = core.Mode
+
+// The degraded-mode states, ordered by severity.
+const (
+	ModeNominal          = core.ModeNominal
+	ModeForecastFallback = core.ModeForecastFallback
+	ModeBudgetRelax      = core.ModeBudgetRelax
+	ModePriceSpike       = core.ModePriceSpike
+	ModeStalePrice       = core.ModeStalePrice
+)
+
+// FeedPolicy configures how a controller degrades when its input feeds
+// misbehave (held prices under outage, price-spike detection). The zero
+// value is the legacy fail-fast behavior. Attach with WithFeedPolicy or
+// Scenario.FeedPolicy.
+type FeedPolicy = core.FeedPolicy
+
+// WithFeedPolicy sets the controller's degraded-mode policy; see
+// core.WithFeedPolicy.
+func WithFeedPolicy(p FeedPolicy) Option { return core.WithFeedPolicy(p) }
 
 // RunScenario executes a closed-loop simulation; see sim.Run.
 func RunScenario(sc Scenario) (*ScenarioResult, error) { return sim.Run(sc) }
